@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the protocol hot paths: the state merge
+//! that defines the total order, the wire codec, LOT/emulation-table math,
+//! and a full end-to-end simulated consensus cycle.
+
+use bytes::Bytes;
+use canopus::{
+    CanopusConfig, CanopusMsg, CanopusNode, EmulationTable, LotShape, RequestSet, VnodeId,
+    VnodeState,
+};
+use canopus_kv::{ClientRequest, Op, TimedOp};
+use canopus_net::wire::Wire;
+use canopus_sim::{Dur, NodeId, Simulation, Time, UniformFabric};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn proposal(origin: u32, number: u64, ops: usize) -> VnodeState {
+    let set = RequestSet {
+        origin: NodeId(origin),
+        ops: (0..ops)
+            .map(|k| TimedOp {
+                req: ClientRequest {
+                    client: NodeId(100),
+                    op_id: k as u64,
+                    op: Op::Put {
+                        key: k as u64,
+                        value: Bytes::from_static(b"12345678"),
+                    },
+                },
+                arrival: Time::ZERO,
+            })
+            .collect(),
+        lease_requests: Vec::new(),
+    };
+    VnodeState::round1(
+        NodeId(origin),
+        VnodeId(vec![0]),
+        canopus::CycleId(1),
+        number,
+        set,
+        Vec::new(),
+    )
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("merge_9_proposals_of_100_ops", |b| {
+        let children: Vec<VnodeState> = (0..9)
+            .map(|i| proposal(i, 0x1000 + i as u64 * 7919, 100))
+            .collect();
+        b.iter_batched(
+            || children.clone(),
+            |children| black_box(VnodeState::merge(VnodeId(vec![0]), children)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let state = proposal(1, 12345, 100);
+    let msg = CanopusMsg::ProposalResponse { state };
+    c.bench_function("encode_proposal_100_ops", |b| {
+        b.iter(|| black_box(msg.to_bytes()));
+    });
+    let bytes = msg.to_bytes();
+    c.bench_function("decode_proposal_100_ops", |b| {
+        b.iter(|| black_box(CanopusMsg::from_bytes(bytes.clone()).unwrap()));
+    });
+}
+
+fn bench_lot_math(c: &mut Criterion) {
+    let shape = LotShape::new(vec![4, 4, 4]);
+    c.bench_function("lot_ancestor_and_emulators", |b| {
+        let table = EmulationTable::new(
+            shape.clone(),
+            (0..64)
+                .map(|s| (0..3).map(|i| NodeId(s * 3 + i)).collect())
+                .collect(),
+        );
+        b.iter(|| {
+            for s in 0..64usize {
+                let v = shape.ancestor_of_superleaf(s, 2);
+                black_box(table.emulators(&v));
+            }
+        });
+    });
+}
+
+fn bench_consensus_cycle(c: &mut Criterion) {
+    c.bench_function("six_node_cycle_end_to_end", |b| {
+        b.iter_batched(
+            || {
+                let table = EmulationTable::new(
+                    LotShape::flat(2),
+                    vec![
+                        vec![NodeId(0), NodeId(1), NodeId(2)],
+                        vec![NodeId(3), NodeId(4), NodeId(5)],
+                    ],
+                );
+                let mut sim = Simulation::new(UniformFabric::new(Dur::micros(25)), 7);
+                for i in 0..6u32 {
+                    sim.add_node(Box::new(CanopusNode::new(
+                        NodeId(i),
+                        table.clone(),
+                        CanopusConfig::default(),
+                        7,
+                    )));
+                }
+                sim.inject(
+                    NodeId(0),
+                    CanopusMsg::Request(ClientRequest {
+                        client: canopus_sim::EXTERNAL,
+                        op_id: 1,
+                        op: Op::Put {
+                            key: 1,
+                            value: Bytes::from_static(b"12345678"),
+                        },
+                    }),
+                    Dur::ZERO,
+                );
+                sim
+            },
+            |mut sim| {
+                sim.run_for(Dur::millis(5));
+                black_box(sim.node::<CanopusNode>(NodeId(0)).stats().committed_cycles)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_wire,
+    bench_lot_math,
+    bench_consensus_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Table 1 — inter-datacenter latencies (paper §8.2).
+//!
+//! The WAN matrix is a substrate *input*; this binary validates the fabric
+//! by measuring round-trip times inside the simulator (ping-pong processes
+//! in each datacenter) and printing the measured matrix next to the
+//! configured one. Every cell must match Table 1 within the per-hop NIC
+//! serialization slack.
+//!
+//! Usage: `cargo run --release -p canopus-bench --bin table1_latencies`
+
+use canopus_harness::render_table;
+use canopus_net::{ClosFabric, LinkParams, Topology, WanMatrix};
+use canopus_sim::{
+    impl_process_any, Context, Dur, NodeId, Payload, Process, Simulation, Time,
+};
+
+#[derive(Debug)]
+enum PingMsg {
+    Ping { seq: u64 },
+    Pong { seq: u64 },
+}
+
+impl Payload for PingMsg {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+/// Sends one ping to each peer and records the RTT.
+struct Pinger {
+    peers: Vec<NodeId>,
+    sent: std::collections::BTreeMap<u64, (NodeId, Time)>,
+    rtts: Vec<(NodeId, Dur)>,
+    next_seq: u64,
+}
+
+impl Process<PingMsg> for Pinger {
+    fn on_start(&mut self, ctx: &mut Context<'_, PingMsg>) {
+        for peer in self.peers.clone() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.sent.insert(seq, (peer, ctx.now()));
+            ctx.send(peer, PingMsg::Ping { seq });
+        }
+    }
+    fn on_message(&mut self, from: NodeId, msg: PingMsg, ctx: &mut Context<'_, PingMsg>) {
+        match msg {
+            PingMsg::Ping { seq } => ctx.send(from, PingMsg::Pong { seq }),
+            PingMsg::Pong { seq } => {
+                if let Some((peer, at)) = self.sent.remove(&seq) {
+                    self.rtts.push((peer, ctx.now().saturating_since(at)));
+                }
+            }
+        }
+    }
+    impl_process_any!();
+}
+
+fn main() {
+    let wan = WanMatrix::paper_table1();
+    let sites = wan.len();
+    let topo = Topology::multi_dc(wan.clone(), 1, LinkParams::default());
+    let mut sim = Simulation::new(ClosFabric::new(topo), 1);
+    let all: Vec<NodeId> = (0..sites as u32).map(NodeId).collect();
+    for i in 0..sites as u32 {
+        let peers = all.iter().copied().filter(|&p| p != NodeId(i)).collect();
+        sim.add_node(Box::new(Pinger {
+            peers,
+            sent: Default::default(),
+            rtts: Vec::new(),
+            next_seq: 0,
+        }));
+    }
+    sim.run_for(Dur::secs(2));
+
+    let mut headers = vec!["RTT (ms)"];
+    for s in wan.sites() {
+        headers.push(wan.name(s));
+    }
+    let mut rows = Vec::new();
+    let mut worst_err = 0.0f64;
+    for (i, a) in wan.sites().enumerate() {
+        let pinger = sim.node::<Pinger>(NodeId(i as u32));
+        let mut row = vec![wan.name(a).to_string()];
+        for (j, b) in wan.sites().enumerate() {
+            if i == j {
+                row.push(format!("({:.2})", wan.rtt(a, b).as_millis_f64()));
+                continue;
+            }
+            let measured = pinger
+                .rtts
+                .iter()
+                .find(|(p, _)| *p == NodeId(j as u32))
+                .map(|(_, d)| *d)
+                .expect("pong received");
+            let expected = wan.rtt(a, b);
+            let err_ms =
+                (measured.as_millis_f64() - expected.as_millis_f64()).abs();
+            worst_err = worst_err.max(err_ms);
+            row.push(format!("{:.2}", measured.as_millis_f64()));
+        }
+        rows.push(row);
+    }
+    println!("Table 1 — measured RTTs in the simulated fabric");
+    println!("{}", render_table(&headers, &rows));
+    println!("worst deviation from the paper's matrix: {worst_err:.3} ms");
+    assert!(
+        worst_err < 0.5,
+        "fabric deviates from Table 1 by {worst_err} ms"
+    );
+    println!("fabric matches Table 1. ✓");
+}

@@ -1,0 +1,18 @@
+//! # canopus-bench — regenerating every table and figure
+//!
+//! One binary per measured artifact of the paper's evaluation:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_latencies` | Table 1 (fabric validation) |
+//! | `fig4_single_dc`   | Figure 4(a)+(b): single-DC scaling |
+//! | `fig5_zookeeper`   | Figure 5: ZooKeeper vs ZKCanopus |
+//! | `fig6_multi_dc`    | Figure 6: multi-DC scaling |
+//! | `fig7_write_ratio` | Figure 7: write-ratio sweep |
+//! | `ssd_persistence`  | §8.1 SSD-vs-memory logging check |
+//!
+//! All accept `--quick` for a reduced sweep. `cargo bench` additionally
+//! runs criterion micro-benchmarks of the protocol hot paths
+//! (`benches/micro.rs`).
+
+#![warn(missing_docs)]

@@ -1,0 +1,259 @@
+//! Canopus protocol messages.
+//!
+//! Three planes share one message enum so a single transport carries them:
+//! the super-leaf reliable-broadcast plane (Raft traffic), the inter-super-
+//! leaf plane (proposal-request / proposal-response, §4.2), and the client
+//! plane (requests in, replies out).
+
+use bytes::{Bytes, BytesMut};
+use canopus_kv::{ClientReply, ClientRequest};
+use canopus_net::wire::{Wire, WireError, WireRead};
+use canopus_raft::RaftMsg;
+use canopus_sim::{NodeId, Payload};
+
+use crate::proposal::VnodeState;
+use crate::types::{CycleId, VnodeId};
+
+/// An item disseminated through super-leaf reliable broadcast (the payload
+/// of a Raft log entry).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BroadcastItem {
+    /// A round-1 proposal from a super-leaf member.
+    Proposal(VnodeState),
+    /// A remote vnode state fetched by a representative.
+    Remote(VnodeState),
+    /// Proposed into a failed member's group by the successor leader:
+    /// the member contributes no proposals from `from_cycle` on, until a
+    /// `Rejoin` appears later in the same group's log. Because it is
+    /// totally ordered with the member's own proposals, every survivor
+    /// draws the same boundary (§4.6 exclusion, made explicit).
+    Tombstone {
+        /// The failed member.
+        node: NodeId,
+        /// First cycle it is excluded from.
+        from_cycle: CycleId,
+    },
+    /// The member is active again starting at `from_cycle`.
+    Rejoin {
+        /// The rejoining member.
+        node: NodeId,
+        /// First cycle it participates in again.
+        from_cycle: CycleId,
+    },
+}
+
+impl Wire for BroadcastItem {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            BroadcastItem::Proposal(state) => {
+                0u8.encode(buf);
+                state.encode(buf);
+            }
+            BroadcastItem::Remote(state) => {
+                1u8.encode(buf);
+                state.encode(buf);
+            }
+            BroadcastItem::Tombstone { node, from_cycle } => {
+                2u8.encode(buf);
+                node.encode(buf);
+                from_cycle.encode(buf);
+            }
+            BroadcastItem::Rejoin { node, from_cycle } => {
+                3u8.encode(buf);
+                node.encode(buf);
+                from_cycle.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match buf.read_u8()? {
+            0 => Ok(BroadcastItem::Proposal(VnodeState::decode(buf)?)),
+            1 => Ok(BroadcastItem::Remote(VnodeState::decode(buf)?)),
+            2 => Ok(BroadcastItem::Tombstone {
+                node: NodeId::decode(buf)?,
+                from_cycle: CycleId::decode(buf)?,
+            }),
+            3 => Ok(BroadcastItem::Rejoin {
+                node: NodeId::decode(buf)?,
+                from_cycle: CycleId::decode(buf)?,
+            }),
+            _ => Err(WireError::Invalid("broadcast item tag")),
+        }
+    }
+}
+
+/// All Canopus wire messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CanopusMsg {
+    /// Super-leaf reliable-broadcast traffic.
+    Raft(RaftMsg),
+    /// A client submits an operation.
+    Request(ClientRequest),
+    /// The node answers a client.
+    Reply(ClientReply),
+    /// A representative asks an emulator for a vnode's state (§4.2).
+    ProposalRequest {
+        /// Cycle the state is needed for.
+        cycle: CycleId,
+        /// The vnode whose state is requested.
+        vnode: VnodeId,
+    },
+    /// The emulator's answer (sent once the state is computed).
+    ProposalResponse {
+        /// The requested state.
+        state: VnodeState,
+    },
+}
+
+impl Payload for CanopusMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            CanopusMsg::Raft(m) => 1 + m.wire_size(),
+            CanopusMsg::Request(r) => 1 + 13 + r.op.payload_bytes().min(64),
+            CanopusMsg::Reply(_) => 1 + 14,
+            CanopusMsg::ProposalRequest { vnode, .. } => 1 + 9 + 2 * vnode.depth(),
+            CanopusMsg::ProposalResponse { state } => 1 + state.wire_bytes(),
+        }
+    }
+}
+
+impl Wire for CanopusMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CanopusMsg::Raft(m) => {
+                0u8.encode(buf);
+                m.encode(buf);
+            }
+            CanopusMsg::Request(r) => {
+                1u8.encode(buf);
+                r.encode(buf);
+            }
+            CanopusMsg::Reply(r) => {
+                2u8.encode(buf);
+                r.encode(buf);
+            }
+            CanopusMsg::ProposalRequest { cycle, vnode } => {
+                3u8.encode(buf);
+                cycle.encode(buf);
+                vnode.encode(buf);
+            }
+            CanopusMsg::ProposalResponse { state } => {
+                4u8.encode(buf);
+                state.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match buf.read_u8()? {
+            0 => Ok(CanopusMsg::Raft(RaftMsg::decode(buf)?)),
+            1 => Ok(CanopusMsg::Request(ClientRequest::decode(buf)?)),
+            2 => Ok(CanopusMsg::Reply(ClientReply::decode(buf)?)),
+            3 => Ok(CanopusMsg::ProposalRequest {
+                cycle: CycleId::decode(buf)?,
+                vnode: VnodeId::decode(buf)?,
+            }),
+            4 => Ok(CanopusMsg::ProposalResponse {
+                state: VnodeState::decode(buf)?,
+            }),
+            _ => Err(WireError::Invalid("canopus msg tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposal::RequestSet;
+    use canopus_kv::Op;
+    use canopus_raft::GroupId;
+
+    fn sample_state() -> VnodeState {
+        VnodeState::round1(
+            NodeId(2),
+            VnodeId(vec![1]),
+            CycleId(4),
+            12345,
+            RequestSet {
+                origin: NodeId(2),
+                ops: vec![crate::proposal::TimedOp {
+                    req: ClientRequest {
+                        client: NodeId(30),
+                        op_id: 7,
+                        op: Op::Put {
+                            key: 9,
+                            value: Bytes::from_static(b"12345678"),
+                        },
+                    },
+                    arrival: canopus_sim::Time::from_nanos(500),
+                }],
+                lease_requests: vec![],
+            },
+            vec![],
+        )
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let msgs = vec![
+            CanopusMsg::Raft(RaftMsg::VoteReply {
+                group: GroupId(3),
+                term: 9,
+                granted: false,
+            }),
+            CanopusMsg::Request(ClientRequest {
+                client: NodeId(44),
+                op_id: 1,
+                op: Op::Get { key: 5 },
+            }),
+            CanopusMsg::Reply(ClientReply {
+                op_id: 1,
+                weight: 1,
+                result: canopus_kv::OpResult::Value(None),
+            }),
+            CanopusMsg::ProposalRequest {
+                cycle: CycleId(8),
+                vnode: VnodeId(vec![0, 2]),
+            },
+            CanopusMsg::ProposalResponse {
+                state: sample_state(),
+            },
+        ];
+        for msg in msgs {
+            let back = CanopusMsg::from_bytes(msg.to_bytes()).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn broadcast_items_round_trip() {
+        let items = vec![
+            BroadcastItem::Proposal(sample_state()),
+            BroadcastItem::Remote(sample_state()),
+            BroadcastItem::Tombstone {
+                node: NodeId(3),
+                from_cycle: CycleId(12),
+            },
+            BroadcastItem::Rejoin {
+                node: NodeId(3),
+                from_cycle: CycleId(20),
+            },
+        ];
+        for item in items {
+            let back = BroadcastItem::from_bytes(item.to_bytes()).unwrap();
+            assert_eq!(back, item);
+        }
+    }
+
+    #[test]
+    fn payload_sizes_track_content() {
+        let small = CanopusMsg::ProposalRequest {
+            cycle: CycleId(1),
+            vnode: VnodeId(vec![0]),
+        };
+        let big = CanopusMsg::ProposalResponse {
+            state: sample_state(),
+        };
+        assert!(small.wire_size() < big.wire_size());
+        assert!(small.wire_size() < 32);
+    }
+}

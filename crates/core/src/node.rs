@@ -1,0 +1,1329 @@
+//! The Canopus pnode: the complete protocol state machine (paper §4–§7).
+//!
+//! One [`CanopusNode`] is one pnode. It embeds the super-leaf reliable
+//! broadcast (per-member Raft groups, §4.3), executes consensus cycles of
+//! `h` rounds over the LOT (§4.2), self-synchronizes on outside prompting
+//! (§4.4), acts as a super-leaf representative fetching remote vnode states
+//! (§4.5), maintains the emulation table through committed membership
+//! updates (§4.6), linearizes reads by delaying them one or two cycles (§5)
+//! or through write leases (§7.2), and pipelines cycles for wide-area
+//! deployments (§7.1).
+//!
+//! Failure handling follows the paper's crash-stop model: peer silence is
+//! detected by heartbeat timeout; the survivor that wins the dead member's
+//! broadcast group election appends a **tombstone** to that group's log.
+//! Because the tombstone is totally ordered with the member's own proposals
+//! (same Raft log), every survivor draws the identical boundary between
+//! cycles the dead member contributed to and cycles it is excluded from —
+//! making the proof's "excluded from contributing to the state of the
+//! super-leaf" step explicit and deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use canopus_kv::{ClientReply, ClientRequest, Key, KvStore, Op, OpResult};
+use canopus_net::wire::Wire;
+use canopus_raft::{FailureDetector, Outbox, SuperLeafBroadcast};
+use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{CanopusConfig, CycleTrigger, ReadMode};
+use crate::emulation::EmulationTable;
+use crate::msg::{BroadcastItem, CanopusMsg};
+use crate::proposal::{MembershipUpdate, RequestSet, TimedOp, VnodeState};
+use crate::types::{CycleId, VnodeId};
+
+/// Timer tokens.
+const TICK: u64 = 1;
+const CYCLE: u64 = 2;
+
+/// One committed operation, as recorded in the commit log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommittedOp {
+    /// A key-value write; `version` is the key's version after this write.
+    Put {
+        /// Requesting client.
+        client: NodeId,
+        /// Client-assigned id.
+        op_id: u64,
+        /// Key written.
+        key: Key,
+        /// Version produced.
+        version: u64,
+    },
+    /// An aggregated synthetic write batch.
+    Synthetic {
+        /// Requesting client.
+        client: NodeId,
+        /// Client-assigned id.
+        op_id: u64,
+        /// Requests represented.
+        count: u32,
+    },
+}
+
+/// One origin's committed request set within a cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedSet {
+    /// The origin node.
+    pub origin: NodeId,
+    /// Its operations, in FIFO order.
+    pub ops: Vec<CommittedOp>,
+}
+
+/// The commit record of one cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedCycle {
+    /// The cycle.
+    pub cycle: CycleId,
+    /// Local commit time.
+    pub at: Time,
+    /// The total order of request sets.
+    pub sets: Vec<CommittedSet>,
+}
+
+/// Counters exposed by every node.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CanopusStats {
+    /// Cycles committed.
+    pub committed_cycles: u64,
+    /// Client write requests committed (all origins, weighted).
+    pub committed_weight: u64,
+    /// Write requests from this node's own clients (weighted).
+    pub own_writes: u64,
+    /// Reads served to this node's clients (weighted).
+    pub reads_served: u64,
+    /// Reads served immediately under the lease optimization.
+    pub lease_fast_reads: u64,
+    /// Proposal-requests answered for other super-leaves.
+    pub fetches_served: u64,
+    /// Running FNV digest of the commit history (agreement checks).
+    pub commit_digest: u64,
+    /// Sum of (commit − start) across committed cycles, nanoseconds.
+    pub cycle_latency_sum_ns: u64,
+}
+
+/// A buffered client read awaiting linearization (§5).
+#[derive(Clone, Debug)]
+struct PendingRead {
+    req: ClientRequest,
+    /// Commit of this cycle releases the read; 0 = not yet assigned.
+    ordering_cycle: CycleId,
+    /// Number of own-window writes received before this read — its
+    /// interleaving position within the node's own request set.
+    write_prefix: usize,
+}
+
+/// A representative's in-flight state fetch.
+#[derive(Clone, Debug)]
+struct Fetch {
+    sent_at: Time,
+    attempts: u32,
+    target: NodeId,
+    responded: bool,
+}
+
+/// Per-cycle protocol state.
+#[derive(Debug, Default)]
+struct CycleState {
+    started: bool,
+    /// When this node started the cycle (broadcast its round-1 proposal).
+    started_at: Time,
+    /// Last time this cycle made visible progress (used to age-gate the
+    /// liveness rescue path).
+    last_progress: Time,
+    /// Round-1 proposals by proposer.
+    round1: BTreeMap<NodeId, VnodeState>,
+    /// `ancestors[k]` = computed state of the height-`k+1` ancestor.
+    ancestors: Vec<Option<VnodeState>>,
+    /// Sibling vnode states delivered via super-leaf broadcast.
+    remote: BTreeMap<VnodeId, VnodeState>,
+    /// This node's in-flight fetches (as representative).
+    fetches: BTreeMap<VnodeId, Fetch>,
+    root_done: bool,
+    committed: bool,
+}
+
+/// The Canopus protocol node. Drive it with any [`Process`] runtime — the
+/// deterministic simulator or the tokio TCP transport.
+pub struct CanopusNode {
+    cfg: CanopusConfig,
+    me: NodeId,
+    table: EmulationTable,
+    my_superleaf: usize,
+    my_parent: VnodeId,
+    height: usize,
+    rng: SmallRng,
+    bcast: Option<SuperLeafBroadcast>,
+    fd: FailureDetector,
+
+    // Client intake.
+    pending_writes: VecDeque<TimedOp>,
+    pending_weight: u64,
+    pending_reads: Vec<PendingRead>,
+    pending_updates: Vec<MembershipUpdate>,
+    /// Lease mode: writes parked until their key's lease activates.
+    awaiting_lease: BTreeMap<Key, Vec<TimedOp>>,
+    /// Lease mode: keys whose lease we will request in the next proposal.
+    requested_leases: BTreeSet<Key>,
+    /// Lease mode: key → last cycle its write lease covers.
+    lease_until: BTreeMap<Key, u64>,
+
+    // Cycle machinery.
+    cycles: BTreeMap<CycleId, CycleState>,
+    last_started: CycleId,
+    last_committed: CycleId,
+    max_seen_cycle: CycleId,
+    /// Buffered proposal-requests for states not yet computed.
+    waiting_requests: Vec<(NodeId, CycleId, VnodeId)>,
+
+    // Exclusion bookkeeping (see module docs). The roster is every node
+    // that was ever a member of this super-leaf: round-1 expectations are
+    // evaluated against it plus the tombstone/rejoin markers (which are
+    // totally ordered within each member's broadcast group and therefore
+    // identical at every survivor), never against the mutable emulation
+    // table, whose update timing varies across nodes under pipelining.
+    superleaf_roster: BTreeSet<NodeId>,
+    tombstoned: BTreeMap<NodeId, CycleId>,
+    rejoined: BTreeMap<NodeId, CycleId>,
+    /// Peers the failure detector reported, whose tombstone has not yet
+    /// been delivered: retried every tick until the dead member's group has
+    /// a successor leader that lands the tombstone.
+    pending_tombstones: BTreeMap<NodeId, Time>,
+    /// Remote emulators that timed out a fetch; deprioritized when picking
+    /// emulators until they are heard from again (paper §A.4: "marks it as
+    /// such, and picks another live emulator").
+    remote_suspects: BTreeSet<NodeId>,
+
+    /// Broadcast items that could not be proposed while our own group's
+    /// leadership was usurped; retried each tick after reclaiming.
+    unsent_items: VecDeque<BroadcastItem>,
+
+    // Commit products.
+    store: KvStore,
+    committed_log: Vec<CommittedCycle>,
+    stats: CanopusStats,
+}
+
+impl CanopusNode {
+    /// Creates a node. `table` must be the identical initial table at every
+    /// node (paper assumption A1); `seed` feeds this node's deterministic
+    /// RNG (proposal numbers, emulator choice, Raft timeouts).
+    pub fn new(me: NodeId, table: EmulationTable, cfg: CanopusConfig, seed: u64) -> Self {
+        let my_superleaf = table
+            .superleaf_of(me)
+            .unwrap_or_else(|| panic!("{me} is not in the emulation table"));
+        let shape = table.shape().clone();
+        let my_parent = shape.ancestor_of_superleaf(my_superleaf, 1);
+        let height = shape.height();
+        let peers: Vec<NodeId> = table
+            .members_of(my_superleaf)
+            .filter(|&p| p != me)
+            .collect();
+        let fd = FailureDetector::new(&peers, cfg.failure_timeout, Time::ZERO);
+        let superleaf_roster: BTreeSet<NodeId> = table.members_of(my_superleaf).collect();
+        CanopusNode {
+            rng: SmallRng::seed_from_u64(seed ^ (me.0 as u64) << 32),
+            cfg,
+            me,
+            my_superleaf,
+            my_parent,
+            height,
+            table,
+            bcast: None,
+            fd,
+            pending_writes: VecDeque::new(),
+            pending_weight: 0,
+            pending_reads: Vec::new(),
+            pending_updates: Vec::new(),
+            awaiting_lease: BTreeMap::new(),
+            requested_leases: BTreeSet::new(),
+            lease_until: BTreeMap::new(),
+            cycles: BTreeMap::new(),
+            last_started: CycleId(0),
+            last_committed: CycleId(0),
+            max_seen_cycle: CycleId(0),
+            waiting_requests: Vec::new(),
+            superleaf_roster,
+            tombstoned: BTreeMap::new(),
+            rejoined: BTreeMap::new(),
+            pending_tombstones: BTreeMap::new(),
+            remote_suspects: BTreeSet::new(),
+            unsent_items: VecDeque::new(),
+            store: KvStore::new(),
+            committed_log: Vec::new(),
+            stats: CanopusStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CanopusStats {
+        self.stats
+    }
+
+    /// The commit log (empty unless `cfg.record_log`).
+    pub fn committed_log(&self) -> &[CommittedCycle] {
+        &self.committed_log
+    }
+
+    /// The current emulation table (identical across nodes at equal commit
+    /// points; tests compare digests).
+    pub fn emulation_table(&self) -> &EmulationTable {
+        &self.table
+    }
+
+    /// The replicated store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Highest committed cycle.
+    pub fn last_committed(&self) -> CycleId {
+        self.last_committed
+    }
+
+    /// Highest started cycle.
+    pub fn last_started(&self) -> CycleId {
+        self.last_started
+    }
+
+    /// Human-readable diagnostic of in-flight protocol state.
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{}: started={} committed={} tombstoned={:?} pending_ts={:?} roster={:?}",
+            self.me,
+            self.last_started.0,
+            self.last_committed.0,
+            self.tombstoned,
+            self.pending_tombstones.keys().collect::<Vec<_>>(),
+            self.superleaf_roster,
+        );
+        for (c, e) in self.cycles.range(self.last_committed.next()..) {
+            let _ = write!(
+                out,
+                "
+  {c:?}: started={} r1_from={:?} anc={:?} remote={:?} fetches={:?} root={}",
+                e.started,
+                e.round1.keys().collect::<Vec<_>>(),
+                e.ancestors.iter().map(|a| a.is_some()).collect::<Vec<_>>(),
+                e.remote.keys().collect::<Vec<_>>(),
+                e.fetches.keys().collect::<Vec<_>>(),
+                e.root_done,
+            );
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast plumbing
+    // ------------------------------------------------------------------
+
+    fn flush_raft(&mut self, out: Outbox, ctx: &mut Context<'_, CanopusMsg>) {
+        for (to, msg) in out {
+            ctx.send(to, CanopusMsg::Raft(msg));
+        }
+    }
+
+    fn broadcast_item(&mut self, item: &BroadcastItem, ctx: &mut Context<'_, CanopusMsg>) {
+        let data = item.to_bytes();
+        let mut out = Outbox::new();
+        let bcast = self.bcast.as_mut().expect("started");
+        if bcast.broadcast(data, ctx.now(), &mut out).is_none() {
+            // Not currently leading our own group: a peer transiently
+            // usurped it after a false failure suspicion (heavy CPU load
+            // delays heartbeats). Queue the item; the tick loop reclaims
+            // leadership and retries — proposals are never dropped.
+            self.unsent_items.push_back(item.clone());
+        }
+        self.flush_raft(out, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Client intake
+    // ------------------------------------------------------------------
+
+    fn lease_active_for_next_cycles(&self, key: Key) -> bool {
+        self.lease_until
+            .get(&key)
+            .is_some_and(|&until| until > self.last_started.0)
+    }
+
+    fn handle_client_request(&mut self, req: ClientRequest, ctx: &mut Context<'_, CanopusMsg>) {
+        ctx.charge(Dur::nanos(
+            self.cfg.costs.per_request.as_nanos() * req.op.weight().min(4096) as u64,
+        ));
+        if req.op.is_write() {
+            let op = TimedOp {
+                req,
+                arrival: ctx.now(),
+            };
+            let leased_write = self.cfg.read_mode == ReadMode::Leases
+                && matches!(op.req.op, Op::Put { .. });
+            if leased_write {
+                if let Op::Put { key, .. } = op.req.op {
+                    if self.lease_active_for_next_cycles(key) {
+                        self.pending_weight += op.req.op.weight() as u64;
+                        self.pending_writes.push_back(op);
+                    } else {
+                        // Park until the lease round grants coverage.
+                        self.requested_leases.insert(key);
+                        self.awaiting_lease.entry(key).or_default().push(op);
+                    }
+                }
+            } else {
+                self.pending_weight += op.req.op.weight() as u64;
+                self.pending_writes.push_back(op);
+            }
+        } else {
+            // Reads: lease mode may serve immediately; otherwise delay for
+            // linearization (§5).
+            let fast = match (&self.cfg.read_mode, &req.op) {
+                (ReadMode::Leases, Op::Get { key }) => !self.lease_active_for_next_cycles(*key),
+                (ReadMode::Leases, Op::SyntheticRead { .. }) => true,
+                _ => false,
+            };
+            if fast {
+                self.stats.lease_fast_reads += req.op.weight() as u64;
+                self.serve_read(&req, ctx);
+            } else {
+                self.pending_reads.push(PendingRead {
+                    write_prefix: self.pending_writes.len(),
+                    req,
+                    ordering_cycle: CycleId(0),
+                });
+            }
+        }
+        self.maybe_start_cycles(ctx);
+    }
+
+    fn serve_read(&mut self, req: &ClientRequest, ctx: &mut Context<'_, CanopusMsg>) {
+        let weight = req.op.weight();
+        ctx.charge(Dur::nanos(
+            self.cfg.costs.per_read.as_nanos() * weight.min(4096) as u64,
+        ));
+        let result = match &req.op {
+            Op::Get { key } => {
+                let v = self.store.get(*key);
+                OpResult::Value(v.map(|v| v.value.clone()))
+            }
+            Op::SyntheticRead { .. } => OpResult::Batch,
+            _ => unreachable!("serve_read on a write"),
+        };
+        self.stats.reads_served += weight as u64;
+        ctx.send(
+            req.client,
+            CanopusMsg::Reply(ClientReply {
+                op_id: req.op_id,
+                weight,
+                result,
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle lifecycle
+    // ------------------------------------------------------------------
+
+    fn in_flight(&self) -> u64 {
+        self.last_started.0 - self.last_committed.0
+    }
+
+    fn has_local_work(&self) -> bool {
+        !self.pending_writes.is_empty()
+            || self
+                .pending_reads
+                .iter()
+                .any(|r| r.ordering_cycle == CycleId(0))
+            || !self.pending_updates.is_empty()
+            || !self.requested_leases.is_empty()
+    }
+
+    /// Starts as many cycles as policy allows (§4.4 prompting, §7.1
+    /// pipelining).
+    fn maybe_start_cycles(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        if self.bcast.is_none() {
+            return;
+        }
+        loop {
+            let can_start = match self.cfg.trigger {
+                CycleTrigger::OnCommit => self.in_flight() == 0,
+                CycleTrigger::Pipelined => self.in_flight() < self.cfg.max_pipeline_depth,
+            };
+            if !can_start {
+                return;
+            }
+            let prompted = self.max_seen_cycle > self.last_started;
+            let overflow = self.pending_weight >= self.cfg.max_batch as u64;
+            let start = prompted
+                || overflow
+                || (self.has_local_work()
+                    && match self.cfg.trigger {
+                        CycleTrigger::OnCommit => true,
+                        // Pipelined starts on timer/prompt/overflow only,
+                        // except for the very first cycle.
+                        CycleTrigger::Pipelined => self.last_started == CycleId(0),
+                    });
+            if !start {
+                return;
+            }
+            self.start_cycle(ctx);
+        }
+    }
+
+    fn start_cycle(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        let c = self.last_started.next();
+        self.last_started = c;
+
+        // Batch everything pending: writes, lease requests, membership
+        // updates. Reads buffered during the previous window are ordered by
+        // this cycle (§5).
+        let ops: Vec<TimedOp> = self.pending_writes.drain(..).collect();
+        self.pending_weight = 0;
+        let lease_requests: Vec<Key> = std::mem::take(&mut self.requested_leases)
+            .into_iter()
+            .collect();
+        let updates = std::mem::take(&mut self.pending_updates);
+        for read in &mut self.pending_reads {
+            if read.ordering_cycle == CycleId(0) {
+                read.ordering_cycle = c;
+                read.write_prefix = read.write_prefix.min(ops.len());
+            }
+        }
+
+        let set = RequestSet {
+            origin: self.me,
+            ops,
+            lease_requests,
+        };
+        let number = self.rng.gen::<u64>();
+        let state = VnodeState::round1(self.me, self.my_parent.clone(), c, number, set, updates);
+
+        if !self.cfg.costs.storage_per_batch.is_zero() {
+            ctx.charge(self.cfg.costs.storage_per_batch);
+        }
+
+        let now = ctx.now();
+        let entry = self.cycle_entry(c);
+        entry.started = true;
+        entry.started_at = now;
+        self.broadcast_item(&BroadcastItem::Proposal(state), ctx);
+        // Issue all remote fetches for this cycle up front (§4.7 event 2:
+        // representatives request remote states as soon as the cycle
+        // starts; emulators buffer until the state is ready).
+        self.plan_fetches(c, ctx);
+        self.note_cycle_seen(c);
+    }
+
+    /// Fetches-or-creates the cycle entry with its ancestor slots ready.
+    fn cycle_entry(&mut self, c: CycleId) -> &mut CycleState {
+        let height = self.height;
+        let entry = self.cycles.entry(c).or_default();
+        if entry.ancestors.is_empty() {
+            entry.ancestors = vec![None; height];
+        }
+        entry
+    }
+
+    fn note_cycle_seen(&mut self, c: CycleId) {
+        if c > self.max_seen_cycle {
+            self.max_seen_cycle = c;
+        }
+    }
+
+    /// The representative set: the first `representatives` non-excluded
+    /// members of this super-leaf, in id order (§4.5: representatives are
+    /// numbered and ordered; assignment needs no communication).
+    fn representative_set(&self) -> Vec<NodeId> {
+        self.superleaf_roster
+            .iter()
+            .copied()
+            .filter(|m| !self.tombstoned.contains_key(m))
+            .take(self.cfg.representatives.max(1))
+            .collect()
+    }
+
+    /// Issues the proposal-requests this node is responsible for in cycle
+    /// `c` (every round's fetches are issued immediately; responders buffer).
+    fn plan_fetches(&mut self, c: CycleId, ctx: &mut Context<'_, CanopusMsg>) {
+        if self.height < 2 {
+            return;
+        }
+        let reps = self.representative_set();
+        if reps.is_empty() {
+            return;
+        }
+        let shape = self.table.shape().clone();
+        for r in 2..=self.height {
+            let target = shape.ancestor_of_superleaf(self.my_superleaf, r);
+            let own_child = shape.ancestor_of_superleaf(self.my_superleaf, r - 1);
+            let needed: Vec<VnodeId> = shape
+                .children(&target)
+                .into_iter()
+                .filter(|v| *v != own_child)
+                .collect();
+            for (j, vnode) in needed.into_iter().enumerate() {
+                let mut mine = false;
+                for k in 0..self.cfg.fetch_redundancy.max(1) {
+                    if reps[(j + k) % reps.len()] == self.me {
+                        mine = true;
+                    }
+                }
+                if !mine {
+                    continue;
+                }
+                let entry = self.cycle_entry(c);
+                if entry.remote.contains_key(&vnode) || entry.fetches.contains_key(&vnode) {
+                    continue;
+                }
+                self.issue_fetch(c, vnode, 0, ctx);
+            }
+        }
+    }
+
+    fn issue_fetch(
+        &mut self,
+        c: CycleId,
+        vnode: VnodeId,
+        attempt: u32,
+        ctx: &mut Context<'_, CanopusMsg>,
+    ) {
+        let all = self.table.emulators(&vnode);
+        if all.is_empty() {
+            return; // subtree fully departed; cycle will stall (§3.3)
+        }
+        let preferred: Vec<NodeId> = all
+            .iter()
+            .copied()
+            .filter(|e| !self.remote_suspects.contains(e))
+            .collect();
+        let emulators = if preferred.is_empty() { &all } else { &preferred };
+        let pick = (self.rng.gen::<u32>() as usize + attempt as usize) % emulators.len();
+        let target = emulators[pick];
+        ctx.send(
+            target,
+            CanopusMsg::ProposalRequest {
+                cycle: c,
+                vnode: vnode.clone(),
+            },
+        );
+        let entry = self.cycle_entry(c);
+        entry.fetches.insert(
+            vnode,
+            Fetch {
+                sent_at: ctx.now(),
+                attempts: attempt + 1,
+                target,
+                responded: false,
+            },
+        );
+    }
+
+    /// Exclusion rule (see module docs): `m` contributes to cycle `c`
+    /// unless a tombstone covering `c` exists and no proposal from `m` for
+    /// `c` was delivered.
+    fn round1_complete(&self, c: CycleId) -> bool {
+        let Some(entry) = self.cycles.get(&c) else {
+            return false;
+        };
+        if !entry.started {
+            return false; // our own proposal is required
+        }
+        for &m in &self.superleaf_roster {
+            if let Some(&active_from) = self.rejoined.get(&m) {
+                if active_from > c {
+                    continue; // not yet participating
+                }
+            }
+            if entry.round1.contains_key(&m) {
+                continue;
+            }
+            match self.tombstoned.get(&m) {
+                Some(&from) if from <= c => continue, // excluded
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn handle_delivery(
+        &mut self,
+        origin: NodeId,
+        item: BroadcastItem,
+        ctx: &mut Context<'_, CanopusMsg>,
+    ) {
+        match item {
+            BroadcastItem::Proposal(state) => {
+                let c = state.cycle;
+                if c <= self.last_committed {
+                    return;
+                }
+                self.note_cycle_seen(c);
+                let now = ctx.now();
+                let entry = self.cycle_entry(c);
+                entry.last_progress = now;
+                entry.round1.insert(origin, state);
+                self.maybe_start_cycles(ctx);
+                self.advance_cycle(c, ctx);
+            }
+            BroadcastItem::Remote(state) => {
+                let c = state.cycle;
+                if c <= self.last_committed {
+                    return;
+                }
+                self.note_cycle_seen(c);
+                let now = ctx.now();
+                let entry = self.cycle_entry(c);
+                entry.last_progress = now;
+                if let Some(fetch) = entry.fetches.get_mut(&state.vnode) {
+                    fetch.responded = true;
+                }
+                entry.remote.insert(state.vnode.clone(), state);
+                self.maybe_start_cycles(ctx);
+                self.advance_cycle(c, ctx);
+            }
+            BroadcastItem::Tombstone { node, from_cycle } => {
+                // Keep the earliest boundary if several survivors raced to
+                // tombstone the same member (min is order-independent, so
+                // every peer converges on the same exclusion range).
+                let entry = self.tombstoned.entry(node).or_insert(from_cycle);
+                if from_cycle < *entry {
+                    *entry = from_cycle;
+                }
+                self.pending_tombstones.remove(&node);
+                self.rejoined.remove(&node);
+                // Propose the membership change for the emulation tables of
+                // the whole tree (§4.6).
+                let update = MembershipUpdate::Leave { node };
+                if !self.pending_updates.contains(&update) {
+                    self.pending_updates.push(update);
+                }
+                // The exclusion may unblock round 1 of in-flight cycles.
+                let in_flight: Vec<CycleId> = self
+                    .cycles
+                    .keys()
+                    .copied()
+                    .filter(|&c| c > self.last_committed)
+                    .collect();
+                for c in in_flight {
+                    self.advance_cycle(c, ctx);
+                }
+            }
+            BroadcastItem::Rejoin { node, from_cycle } => {
+                self.superleaf_roster.insert(node);
+                self.tombstoned.remove(&node);
+                self.rejoined.insert(node, from_cycle);
+                let superleaf = self.my_superleaf as u32;
+                let update = MembershipUpdate::Join { node, superleaf };
+                if !self.pending_updates.contains(&update) {
+                    self.pending_updates.push(update);
+                }
+            }
+        }
+    }
+
+    /// Drives cycle `c` forward: completes round 1, merges any completable
+    /// higher rounds, answers buffered proposal-requests, and commits.
+    fn advance_cycle(&mut self, c: CycleId, ctx: &mut Context<'_, CanopusMsg>) {
+        // Round 1.
+        let need_h1 = {
+            let Some(entry) = self.cycles.get(&c) else {
+                return;
+            };
+            !entry.ancestors.is_empty() && entry.ancestors[0].is_none()
+        };
+        if need_h1 {
+            if !self.round1_complete(c) {
+                return;
+            }
+            let entry = self.cycles.get_mut(&c).expect("exists");
+            let contributors: Vec<VnodeState> = entry
+                .round1
+                .values()
+                .cloned()
+                .collect();
+            let h1 = VnodeState::merge(self.my_parent.clone(), contributors);
+            entry.ancestors[0] = Some(h1);
+            self.answer_waiting(c, ctx);
+        }
+
+        // Higher rounds.
+        let shape = self.table.shape().clone();
+        for r in 2..=self.height {
+            let done = {
+                let entry = self.cycles.get(&c).expect("exists");
+                entry.ancestors[r - 1].is_some()
+            };
+            if done {
+                continue;
+            }
+            let prev_ready = {
+                let entry = self.cycles.get(&c).expect("exists");
+                entry.ancestors[r - 2].is_some()
+            };
+            if !prev_ready {
+                return;
+            }
+            let target = shape.ancestor_of_superleaf(self.my_superleaf, r);
+            let own_child = shape.ancestor_of_superleaf(self.my_superleaf, r - 1);
+            let children = shape.children(&target);
+            let entry = self.cycles.get_mut(&c).expect("exists");
+            let mut states = Vec::with_capacity(children.len());
+            let mut complete = true;
+            for child in &children {
+                if *child == own_child {
+                    let mut own = entry.ancestors[r - 2].clone().expect("prev ready");
+                    // When a state rises a level, its tie-break becomes its
+                    // position among its new siblings.
+                    own.tie = own.vnode.last_digit() as u32;
+                    states.push(own);
+                } else if let Some(state) = entry.remote.get(child) {
+                    let mut s = state.clone();
+                    s.tie = s.vnode.last_digit() as u32;
+                    states.push(s);
+                } else {
+                    complete = false;
+                    break;
+                }
+            }
+            if !complete {
+                return;
+            }
+            let merged = VnodeState::merge(target, states);
+            entry.ancestors[r - 1] = Some(merged);
+            self.answer_waiting(c, ctx);
+        }
+
+        // Root reached.
+        {
+            let entry = self.cycles.get_mut(&c).expect("exists");
+            if entry.ancestors[self.height - 1].is_some() {
+                entry.root_done = true;
+            }
+        }
+        self.try_commit(ctx);
+    }
+
+    /// Answers buffered proposal-requests that newly computed states satisfy.
+    fn answer_waiting(&mut self, c: CycleId, ctx: &mut Context<'_, CanopusMsg>) {
+        let mut still_waiting = Vec::new();
+        let waiting = std::mem::take(&mut self.waiting_requests);
+        for (from, cycle, vnode) in waiting {
+            if cycle != c {
+                still_waiting.push((from, cycle, vnode));
+                continue;
+            }
+            match self.lookup_state(cycle, &vnode) {
+                Some(state) => {
+                    self.stats.fetches_served += 1;
+                    ctx.send(from, CanopusMsg::ProposalResponse { state });
+                }
+                None => still_waiting.push((from, cycle, vnode)),
+            }
+        }
+        self.waiting_requests = still_waiting;
+    }
+
+    fn lookup_state(&self, c: CycleId, vnode: &VnodeId) -> Option<VnodeState> {
+        let entry = self.cycles.get(&c)?;
+        let depth = vnode.depth();
+        let height = self.height.checked_sub(depth)?;
+        if height == 0 || height > self.height {
+            return None;
+        }
+        let state = entry.ancestors.get(height - 1)?.as_ref()?;
+        if state.vnode == *vnode {
+            Some(state.clone())
+        } else {
+            None
+        }
+    }
+
+    fn try_commit(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        loop {
+            let next = self.last_committed.next();
+            let ready = self
+                .cycles
+                .get(&next)
+                .map(|e| e.root_done && !e.committed)
+                .unwrap_or(false);
+            if !ready {
+                return;
+            }
+            self.commit_cycle(next, ctx);
+            self.maybe_start_cycles(ctx);
+        }
+    }
+
+    fn commit_cycle(&mut self, c: CycleId, ctx: &mut Context<'_, CanopusMsg>) {
+        let root = {
+            let entry = self.cycles.get_mut(&c).expect("ready");
+            entry.committed = true;
+            entry.ancestors[self.height - 1].clone().expect("root done")
+        };
+        let now = ctx.now();
+
+        // 1. Membership updates (§4.6) — identical at every node.
+        self.table.apply_all(&root.updates);
+
+        // 2. Lease grants (§7.2): requests in this cycle cover the next
+        //    `lease_span` cycles.
+        let mut unlocked: Vec<Key> = Vec::new();
+        for set in &root.sets {
+            for &key in &set.lease_requests {
+                self.lease_until.insert(key, c.0 + self.cfg.lease_span);
+                if set.origin == self.me {
+                    unlocked.push(key);
+                }
+            }
+        }
+
+        // 3. Apply the total order; interleave own reads at their recorded
+        //    positions (§5).
+        let mut own_reads: Vec<PendingRead> = Vec::new();
+        let mut rest: Vec<PendingRead> = Vec::new();
+        for r in std::mem::take(&mut self.pending_reads) {
+            if r.ordering_cycle == c {
+                own_reads.push(r);
+            } else {
+                rest.push(r);
+            }
+        }
+        self.pending_reads = rest;
+        own_reads.sort_by_key(|r| r.write_prefix);
+        let mut read_iter = own_reads.into_iter().peekable();
+
+        let mut total_weight: u64 = 0;
+        let mut record_sets = Vec::new();
+        for set in &root.sets {
+            let is_own = set.origin == self.me;
+            let mut record_ops = Vec::new();
+            if is_own {
+                // Serve reads positioned before the k-th own write.
+                for (k, op) in set.ops.iter().enumerate() {
+                    while read_iter
+                        .peek()
+                        .is_some_and(|r| r.write_prefix <= k)
+                    {
+                        let r = read_iter.next().expect("peeked");
+                        self.serve_read(&r.req, ctx);
+                    }
+                    let rec = self.apply_write(op, true, ctx);
+                    record_ops.push(rec);
+                    total_weight += op.req.op.weight() as u64;
+                }
+                // Reads positioned after every own write.
+                while let Some(r) = read_iter.next() {
+                    self.serve_read(&r.req, ctx);
+                }
+            } else {
+                for op in &set.ops {
+                    let rec = self.apply_write(op, false, ctx);
+                    record_ops.push(rec);
+                    total_weight += op.req.op.weight() as u64;
+                }
+            }
+            record_sets.push(CommittedSet {
+                origin: set.origin,
+                ops: record_ops,
+            });
+        }
+        // If our own set was somehow absent (we never contributed — cannot
+        // happen for cycles we committed), serve leftover reads anyway.
+        for r in read_iter {
+            self.serve_read(&r.req, ctx);
+        }
+
+        // 4. Lease mode: release parked writes whose lease now covers the
+        //    upcoming cycles.
+        for key in unlocked {
+            if let Some(ops) = self.awaiting_lease.remove(&key) {
+                for op in ops {
+                    self.pending_weight += op.req.op.weight() as u64;
+                    self.pending_writes.push_back(op);
+                }
+            }
+        }
+
+        // 5. Bookkeeping.
+        let started_at = self.cycles.get(&c).map(|e| e.started_at).unwrap_or(now);
+        self.stats.cycle_latency_sum_ns += now.saturating_since(started_at).as_nanos();
+        self.stats.committed_cycles += 1;
+        self.stats.committed_weight += total_weight;
+        let mut digest = self.stats.commit_digest ^ 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                digest ^= b as u64;
+                digest = digest.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(c.0);
+        for set in &root.sets {
+            mix(set.origin.0 as u64 + 1);
+            for op in &set.ops {
+                mix(op.req.op_id);
+                mix(op.req.client.0 as u64);
+                mix(op.req.op.weight() as u64);
+            }
+        }
+        self.stats.commit_digest = digest;
+        if self.cfg.record_log {
+            self.committed_log.push(CommittedCycle {
+                cycle: c,
+                at: now,
+                sets: record_sets,
+            });
+        }
+        self.last_committed = c;
+
+        // 6. Prune retired cycle state.
+        let keep_from = CycleId(c.0.saturating_sub(self.cfg.state_retention));
+        let stale: Vec<CycleId> = self
+            .cycles
+            .range(..keep_from)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in stale {
+            self.cycles.remove(&k);
+        }
+    }
+
+    fn apply_write(
+        &mut self,
+        op: &TimedOp,
+        is_own: bool,
+        ctx: &mut Context<'_, CanopusMsg>,
+    ) -> CommittedOp {
+        let weight = op.req.op.weight();
+        ctx.charge(Dur::nanos(
+            self.cfg.costs.per_commit.as_nanos() * weight.min(4096) as u64,
+        ));
+        let record = match &op.req.op {
+            Op::Put { key, value } => {
+                let version = self.store.put(*key, value.clone());
+                CommittedOp::Put {
+                    client: op.req.client,
+                    op_id: op.req.op_id,
+                    key: *key,
+                    version,
+                }
+            }
+            Op::SyntheticWrite { count, .. } => CommittedOp::Synthetic {
+                client: op.req.client,
+                op_id: op.req.op_id,
+                count: *count,
+            },
+            _ => unreachable!("reads are never in request sets"),
+        };
+        if is_own {
+            self.stats.own_writes += weight as u64;
+            let result = match op.req.op {
+                Op::Put { .. } => OpResult::Written,
+                _ => OpResult::Batch,
+            };
+            ctx.send(
+                op.req.client,
+                CanopusMsg::Reply(ClientReply {
+                    op_id: op.req.op_id,
+                    weight,
+                    result,
+                }),
+            );
+        }
+        record
+    }
+
+    // ------------------------------------------------------------------
+    // Proposal-request serving (emulator role)
+    // ------------------------------------------------------------------
+
+    fn handle_proposal_request(
+        &mut self,
+        from: NodeId,
+        cycle: CycleId,
+        vnode: VnodeId,
+        ctx: &mut Context<'_, CanopusMsg>,
+    ) {
+        self.note_cycle_seen(cycle);
+        match self.lookup_state(cycle, &vnode) {
+            Some(state) => {
+                self.stats.fetches_served += 1;
+                ctx.send(from, CanopusMsg::ProposalResponse { state });
+            }
+            None => {
+                // Buffer until computed (§4.7 events 3 and 5); the request
+                // is also outside prompting to start the cycle (§4.4).
+                self.waiting_requests.push((from, cycle, vnode));
+                self.maybe_start_cycles(ctx);
+            }
+        }
+    }
+
+    fn handle_proposal_response(
+        &mut self,
+        state: VnodeState,
+        ctx: &mut Context<'_, CanopusMsg>,
+    ) {
+        let c = state.cycle;
+        if c <= self.last_committed {
+            return;
+        }
+        let already = self
+            .cycles
+            .get(&c)
+            .map(|e| {
+                e.remote.contains_key(&state.vnode)
+                    || e.fetches
+                        .get(&state.vnode)
+                        .is_some_and(|f| f.responded)
+            })
+            .unwrap_or(false);
+        if already {
+            return; // redundant fetch answered twice
+        }
+        if let Some(entry) = self.cycles.get_mut(&c) {
+            if let Some(f) = entry.fetches.get_mut(&state.vnode) {
+                f.responded = true;
+            }
+        }
+        // Share with the super-leaf (self-delivery comes back through the
+        // broadcast, keeping every member's view identical).
+        self.broadcast_item(&BroadcastItem::Remote(state), ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        let now = ctx.now();
+        let mut out = Outbox::new();
+        let deliveries = {
+            let bcast = self.bcast.as_mut().expect("started");
+            bcast.tick(now, &mut self.rng, &mut out)
+        };
+        self.flush_raft(out, ctx);
+
+        // Reclaim our broadcast group if usurped, then flush queued items.
+        if !self.unsent_items.is_empty() {
+            let mut out = Outbox::new();
+            {
+                let bcast = self.bcast.as_mut().expect("started");
+                if !bcast.leads_own_group() {
+                    bcast.reclaim_own_group(now, &mut self.rng, &mut out);
+                } else {
+                    while let Some(item) = self.unsent_items.pop_front() {
+                        let data = item.to_bytes();
+                        if bcast.broadcast(data, now, &mut out).is_none() {
+                            self.unsent_items.push_front(item);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.flush_raft(out, ctx);
+        }
+        for d in deliveries {
+            match BroadcastItem::from_bytes(d.data) {
+                Ok(item) => self.handle_delivery(d.origin, item, ctx),
+                Err(_) => {} // corrupt payloads cannot occur internally
+            }
+        }
+
+        // Failure detection: the survivor that wins the dead member's group
+        // election appends the tombstone. Detection usually precedes the
+        // election finishing, so proposals are retried until delivery.
+        for peer in self.fd.newly_failed(now) {
+            if !self.tombstoned.contains_key(&peer) {
+                self.pending_tombstones.entry(peer).or_insert(Time::ZERO);
+            }
+        }
+        let retry_gap = self.cfg.failure_timeout;
+        let due: Vec<NodeId> = self
+            .pending_tombstones
+            .iter()
+            .filter(|(_, &last)| now.saturating_since(last) >= retry_gap)
+            .map(|(&p, _)| p)
+            .collect();
+        for peer in due {
+            if self.tombstoned.contains_key(&peer) {
+                self.pending_tombstones.remove(&peer);
+                continue;
+            }
+            if self.fd.live_peers(now).contains(&peer) {
+                // Heard from it again: false suspicion, drop the intent.
+                self.pending_tombstones.remove(&peer);
+                continue;
+            }
+            self.pending_tombstones.insert(peer, now);
+            if self.bcast.as_ref().expect("started").leads_group_of(peer) {
+                let item = BroadcastItem::Tombstone {
+                    node: peer,
+                    from_cycle: self.last_committed.next(),
+                };
+                let data = item.to_bytes();
+                let mut out = Outbox::new();
+                self.bcast
+                    .as_mut()
+                    .expect("started")
+                    .propose_into(peer, data, now, &mut out);
+                self.flush_raft(out, ctx);
+            }
+        }
+
+        // Fetch retries: re-ask a different emulator after timeout.
+        let timeout = self.cfg.fetch_timeout;
+        let mut retries: Vec<(CycleId, VnodeId, u32, NodeId)> = Vec::new();
+        for (&c, entry) in self.cycles.range(self.last_committed.next()..) {
+            for (vnode, fetch) in &entry.fetches {
+                if !fetch.responded
+                    && !entry.remote.contains_key(vnode)
+                    && now.saturating_since(fetch.sent_at) >= timeout
+                {
+                    retries.push((c, vnode.clone(), fetch.attempts, fetch.target));
+                }
+            }
+        }
+        for (c, vnode, attempts, target) in retries {
+            self.remote_suspects.insert(target);
+            self.issue_fetch(c, vnode, attempts, ctx);
+        }
+
+        // Liveness safety net: if the oldest uncommitted cycle has a round
+        // whose sibling state is missing with no fetch in flight anywhere we
+        // can see (possible transiently when representative views diverge
+        // during membership churn), fetch it ourselves after a timeout.
+        // Duplicate Remote broadcasts are idempotent.
+        self.rescue_stalled_cycle(ctx);
+
+        ctx.set_timer(self.cfg.tick_interval, TICK);
+    }
+
+    /// Fetches any long-missing sibling state of the oldest uncommitted
+    /// cycle regardless of representative assignment.
+    fn rescue_stalled_cycle(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        let c = self.last_committed.next();
+        if c > self.last_started {
+            return;
+        }
+        let stuck_for = self.cfg.fetch_timeout;
+        let now = ctx.now();
+        let shape = self.table.shape().clone();
+        let mut to_fetch: Vec<VnodeId> = Vec::new();
+        {
+            let Some(entry) = self.cycles.get(&c) else {
+                return;
+            };
+            if entry.root_done || entry.ancestors.is_empty() {
+                return;
+            }
+            if now.saturating_since(entry.last_progress) < stuck_for {
+                return;
+            }
+            for r in 2..=self.height {
+                if entry.ancestors[r - 1].is_some() {
+                    continue;
+                }
+                if entry.ancestors[r - 2].is_none() {
+                    break; // earlier round still pending
+                }
+                let target = shape.ancestor_of_superleaf(self.my_superleaf, r);
+                let own_child = shape.ancestor_of_superleaf(self.my_superleaf, r - 1);
+                for v in shape.children(&target) {
+                    if v == own_child || entry.remote.contains_key(&v) {
+                        continue;
+                    }
+                    match entry.fetches.get(&v) {
+                        Some(f) if now.saturating_since(f.sent_at) < stuck_for => {}
+                        Some(_) => {} // retry path handles it
+                        None => to_fetch.push(v),
+                    }
+                }
+                break; // only rescue the lowest incomplete round
+            }
+        }
+        for v in to_fetch {
+            self.issue_fetch(c, v, 0, ctx);
+        }
+    }
+
+    fn on_cycle_timer(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        if self.cfg.trigger == CycleTrigger::Pipelined {
+            let depth_ok = self.in_flight() < self.cfg.max_pipeline_depth;
+            // The periodic timer is the upper bound between cycle starts
+            // (§7.1); it fires a new cycle whenever local work is waiting.
+            // Idle datacenters still participate in cycles started
+            // elsewhere through outside prompting (§4.4), so a fully idle
+            // system quiesces instead of free-running empty cycles.
+            if depth_ok && self.has_local_work() {
+                self.start_cycle(ctx);
+            }
+            ctx.set_timer(self.cfg.cycle_interval, CYCLE);
+        }
+    }
+}
+
+impl Process<CanopusMsg> for CanopusNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        let members: Vec<NodeId> = self.table.members_of(self.my_superleaf).collect();
+        let mut bcast_rng = SmallRng::seed_from_u64(self.rng.gen());
+        self.bcast = Some(SuperLeafBroadcast::new(
+            self.me,
+            &members,
+            self.cfg.raft,
+            ctx.now(),
+            &mut bcast_rng,
+        ));
+        let peers: Vec<NodeId> = members.into_iter().filter(|&p| p != self.me).collect();
+        self.fd = FailureDetector::new(&peers, self.cfg.failure_timeout, ctx.now());
+        ctx.set_timer(self.cfg.tick_interval, TICK);
+        if self.cfg.trigger == CycleTrigger::Pipelined {
+            ctx.set_timer(self.cfg.cycle_interval, CYCLE);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: CanopusMsg, ctx: &mut Context<'_, CanopusMsg>) {
+        self.fd.record(from, ctx.now());
+        self.remote_suspects.remove(&from);
+        ctx.charge(self.cfg.costs.per_protocol_msg);
+        match msg {
+            CanopusMsg::Raft(raft_msg) => {
+                let mut out = Outbox::new();
+                let deliveries = {
+                    let bcast = self.bcast.as_mut().expect("started");
+                    bcast.handle(from, raft_msg, ctx.now(), &mut self.rng, &mut out)
+                };
+                self.flush_raft(out, ctx);
+                for d in deliveries {
+                    match BroadcastItem::from_bytes(d.data) {
+                        Ok(item) => self.handle_delivery(d.origin, item, ctx),
+                        Err(_) => {}
+                    }
+                }
+            }
+            CanopusMsg::Request(req) => self.handle_client_request(req, ctx),
+            CanopusMsg::Reply(_) => {} // nodes never receive replies
+            CanopusMsg::ProposalRequest { cycle, vnode } => {
+                self.handle_proposal_request(from, cycle, vnode, ctx)
+            }
+            CanopusMsg::ProposalResponse { state } => self.handle_proposal_response(state, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, CanopusMsg>) {
+        match timer.token {
+            TICK => self.on_tick(ctx),
+            CYCLE => self.on_cycle_timer(ctx),
+            _ => {}
+        }
+    }
+
+    impl_process_any!();
+}

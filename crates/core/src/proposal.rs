@@ -1,0 +1,397 @@
+//! Proposals, vnode states, and the merge that defines the total order
+//! (paper §4.2).
+//!
+//! A round-1 proposal carries the requests a pnode batched before the cycle
+//! started, a fresh 64-bit random *proposal number*, and pending membership
+//! updates. The state of a height-`r` vnode is the merge of its children's
+//! states, ordered by `(proposal number, tie-break id)` — request sets are
+//! never interleaved, only concatenated, which is what keeps each client's
+//! requests contiguous ("requests in a request set are never separated",
+//! §5). The merged state's number is the *largest* number among its
+//! children, so ordering at the next level is again by fresh randomness.
+
+use bytes::{Bytes, BytesMut};
+use canopus_net::wire::{Wire, WireError, WireRead};
+use canopus_sim::NodeId;
+
+pub use canopus_kv::TimedOp;
+
+use crate::types::{CycleId, VnodeId};
+
+/// A membership change carried through a consensus cycle (§4.6) and applied
+/// by every node to its emulation table at cycle commit.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MembershipUpdate {
+    /// `node` joined super-leaf `superleaf`.
+    Join {
+        /// The joining node.
+        node: NodeId,
+        /// Index of the super-leaf it joins.
+        superleaf: u32,
+    },
+    /// `node` left (crashed out of) the tree.
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+}
+
+impl Wire for MembershipUpdate {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MembershipUpdate::Join { node, superleaf } => {
+                0u8.encode(buf);
+                node.encode(buf);
+                superleaf.encode(buf);
+            }
+            MembershipUpdate::Leave { node } => {
+                1u8.encode(buf);
+                node.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match buf.read_u8()? {
+            0 => Ok(MembershipUpdate::Join {
+                node: NodeId::decode(buf)?,
+                superleaf: u32::decode(buf)?,
+            }),
+            1 => Ok(MembershipUpdate::Leave {
+                node: NodeId::decode(buf)?,
+            }),
+            _ => Err(WireError::Invalid("membership tag")),
+        }
+    }
+}
+
+/// One node's batched writes for one cycle. Request sets travel and commit
+/// as units; the consensus orders sets, never individual requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestSet {
+    /// The node that received these requests from its clients.
+    pub origin: NodeId,
+    /// The writes, in arrival (client-FIFO) order.
+    pub ops: Vec<TimedOp>,
+    /// Keys for which this origin requests write leases (§7.2; empty unless
+    /// the lease optimization is enabled).
+    pub lease_requests: Vec<u64>,
+}
+
+impl RequestSet {
+    /// An empty set for `origin` (empty proposals still occupy a position
+    /// in the total order, as in the paper's example `PC = {∅ | NC | 1}`).
+    pub fn empty(origin: NodeId) -> Self {
+        RequestSet {
+            origin,
+            ops: Vec::new(),
+            lease_requests: Vec::new(),
+        }
+    }
+
+    /// Total client requests represented (synthetic batches count fully).
+    pub fn weight(&self) -> u64 {
+        self.ops.iter().map(|op| op.req.op.weight() as u64).sum()
+    }
+
+    /// Payload bytes represented.
+    pub fn payload_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| op.req.op.payload_bytes() + 21)
+            .sum::<usize>()
+            + self.lease_requests.len() * 8
+            + 16
+    }
+}
+
+impl Wire for RequestSet {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.origin.encode(buf);
+        self.ops.encode(buf);
+        self.lease_requests.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(RequestSet {
+            origin: NodeId::decode(buf)?,
+            ops: Vec::<TimedOp>::decode(buf)?,
+            lease_requests: Vec::<u64>::decode(buf)?,
+        })
+    }
+}
+
+/// The state of a vnode in one cycle, as computed by a pnode (the paper's
+/// `Π(s, n, c, r)`): an ordered list of request sets, the dominating
+/// proposal number, and the merged membership updates.
+///
+/// A round-1 proposal is the degenerate case: `vnode` is the pnode's
+/// height-1 parent, `sets` holds the single origin set, and `(number, tie)`
+/// is the fresh random draw with the pnode id as tie-break.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VnodeState {
+    /// Which vnode this state belongs to.
+    pub vnode: VnodeId,
+    /// The cycle it was computed in.
+    pub cycle: CycleId,
+    /// Dominating proposal number (the max among merged children).
+    pub number: u64,
+    /// Deterministic tie-break: the pnode id (round 1) or the child vnode's
+    /// last path digit (later rounds) accompanying `number`.
+    pub tie: u32,
+    /// Ordered request sets.
+    pub sets: Vec<RequestSet>,
+    /// Merged membership updates (sorted, deduplicated).
+    pub updates: Vec<MembershipUpdate>,
+}
+
+impl VnodeState {
+    /// Builds a round-1 proposal for pnode `origin`.
+    pub fn round1(
+        origin: NodeId,
+        parent: VnodeId,
+        cycle: CycleId,
+        number: u64,
+        set: RequestSet,
+        updates: Vec<MembershipUpdate>,
+    ) -> VnodeState {
+        debug_assert_eq!(set.origin, origin);
+        let mut updates = updates;
+        updates.sort();
+        updates.dedup();
+        VnodeState {
+            vnode: parent,
+            cycle,
+            number,
+            tie: origin.0,
+            sets: vec![set],
+            updates,
+        }
+    }
+
+    /// The key children are ordered by when merging.
+    pub fn order_key(&self) -> (u64, u32) {
+        (self.number, self.tie)
+    }
+
+    /// Total client requests across all sets.
+    pub fn weight(&self) -> u64 {
+        self.sets.iter().map(RequestSet::weight).sum()
+    }
+
+    /// Approximate encoded size, for network modelling.
+    pub fn wire_bytes(&self) -> usize {
+        32 + 2 * self.vnode.depth()
+            + self
+                .sets
+                .iter()
+                .map(RequestSet::payload_bytes)
+                .sum::<usize>()
+            + self.updates.len() * 9
+    }
+
+    /// Merges sibling states into their parent's state (one consensus
+    /// round, §4.2): children sorted by `(number, tie)`, sets concatenated
+    /// in that order, updates unioned, number = max.
+    ///
+    /// # Panics
+    /// Panics if `children` is empty or the children disagree on the cycle.
+    pub fn merge(parent: VnodeId, mut children: Vec<VnodeState>) -> VnodeState {
+        assert!(!children.is_empty(), "merge of zero children");
+        let cycle = children[0].cycle;
+        assert!(
+            children.iter().all(|c| c.cycle == cycle),
+            "cycle mismatch in merge"
+        );
+        children.sort_by_key(|c| c.order_key());
+        let (number, tie) = children
+            .last()
+            .map(|c| (c.number, c.tie))
+            .expect("non-empty");
+        let mut sets = Vec::with_capacity(children.iter().map(|c| c.sets.len()).sum());
+        let mut updates = Vec::new();
+        for child in children {
+            sets.extend(child.sets);
+            updates.extend(child.updates);
+        }
+        updates.sort();
+        updates.dedup();
+        VnodeState {
+            vnode: parent,
+            cycle,
+            number,
+            tie,
+            sets,
+            updates,
+        }
+    }
+}
+
+impl Wire for VnodeState {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.vnode.encode(buf);
+        self.cycle.encode(buf);
+        self.number.encode(buf);
+        self.tie.encode(buf);
+        self.sets.encode(buf);
+        self.updates.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(VnodeState {
+            vnode: VnodeId::decode(buf)?,
+            cycle: CycleId::decode(buf)?,
+            number: u64::decode(buf)?,
+            tie: u32::decode(buf)?,
+            sets: Vec::<RequestSet>::decode(buf)?,
+            updates: Vec::<MembershipUpdate>::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_kv::{ClientRequest, Op};
+    use canopus_sim::Time;
+
+    fn set_with(origin: u32, keys: &[u64]) -> RequestSet {
+        RequestSet {
+            origin: NodeId(origin),
+            ops: keys
+                .iter()
+                .map(|&k| TimedOp {
+                    req: ClientRequest {
+                        client: NodeId(100 + origin),
+                        op_id: k,
+                        op: Op::Put {
+                            key: k,
+                            value: Bytes::from_static(b"12345678"),
+                        },
+                    },
+                    arrival: Time::ZERO,
+                })
+                .collect(),
+            lease_requests: Vec::new(),
+        }
+    }
+
+    fn proposal(origin: u32, number: u64, keys: &[u64]) -> VnodeState {
+        VnodeState::round1(
+            NodeId(origin),
+            VnodeId(vec![0]),
+            CycleId(1),
+            number,
+            set_with(origin, keys),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn merge_orders_by_proposal_number() {
+        let a = proposal(0, 500, &[1]);
+        let b = proposal(1, 100, &[2]);
+        let c = proposal(2, 300, &[3]);
+        let merged = VnodeState::merge(VnodeId(vec![0]), vec![a, b, c]);
+        let origins: Vec<u32> = merged.sets.iter().map(|s| s.origin.0).collect();
+        assert_eq!(origins, vec![1, 2, 0], "sorted by random number");
+        assert_eq!(merged.number, 500, "max number propagates");
+        assert_eq!(merged.tie, 0, "tie of the max-number child");
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_id() {
+        let a = proposal(7, 100, &[1]);
+        let b = proposal(3, 100, &[2]);
+        let merged = VnodeState::merge(VnodeId(vec![0]), vec![a, b]);
+        let origins: Vec<u32> = merged.sets.iter().map(|s| s.origin.0).collect();
+        assert_eq!(origins, vec![3, 7], "equal numbers break by node id");
+    }
+
+    #[test]
+    fn merge_keeps_sets_contiguous() {
+        // Two height-1 states each with multiple sets; merging must not
+        // interleave their sets.
+        let x = VnodeState::merge(
+            VnodeId(vec![0]),
+            vec![proposal(0, 10, &[1]), proposal(1, 20, &[2])],
+        );
+        let y = VnodeState::merge(
+            VnodeId(vec![1]),
+            vec![proposal(2, 5, &[3]), proposal(3, 15, &[4])],
+        );
+        // x has number 20, y has 15: y's block comes first, intact.
+        let mut x2 = x.clone();
+        x2.tie = x.vnode.last_digit() as u32;
+        let mut y2 = y.clone();
+        y2.tie = y.vnode.last_digit() as u32;
+        let root = VnodeState::merge(VnodeId::root(), vec![x2, y2]);
+        let origins: Vec<u32> = root.sets.iter().map(|s| s.origin.0).collect();
+        assert_eq!(origins, vec![2, 3, 0, 1], "blocks stay contiguous");
+    }
+
+    #[test]
+    fn merge_is_deterministic_regardless_of_input_order() {
+        let children = vec![
+            proposal(0, 50, &[1]),
+            proposal(1, 10, &[2]),
+            proposal(2, 90, &[3]),
+        ];
+        let m1 = VnodeState::merge(VnodeId(vec![0]), children.clone());
+        let mut rev = children;
+        rev.reverse();
+        let m2 = VnodeState::merge(VnodeId(vec![0]), rev);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn merge_unions_membership_updates() {
+        let mut a = proposal(0, 1, &[]);
+        a.updates = vec![MembershipUpdate::Leave { node: NodeId(9) }];
+        let mut b = proposal(1, 2, &[]);
+        b.updates = vec![
+            MembershipUpdate::Leave { node: NodeId(9) },
+            MembershipUpdate::Join {
+                node: NodeId(4),
+                superleaf: 1,
+            },
+        ];
+        let merged = VnodeState::merge(VnodeId(vec![0]), vec![a, b]);
+        assert_eq!(merged.updates.len(), 2, "deduplicated");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle mismatch")]
+    fn merge_rejects_mixed_cycles() {
+        let a = proposal(0, 1, &[]);
+        let mut b = proposal(1, 2, &[]);
+        b.cycle = CycleId(2);
+        VnodeState::merge(VnodeId(vec![0]), vec![a, b]);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut state = proposal(3, 0xDEADBEEF, &[5, 6]);
+        state.updates = vec![MembershipUpdate::Join {
+            node: NodeId(8),
+            superleaf: 2,
+        }];
+        state.sets[0].lease_requests = vec![42, 43];
+        let back = VnodeState::from_bytes(state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn weights_aggregate() {
+        let mut s = set_with(0, &[1, 2]);
+        s.ops.push(TimedOp {
+            req: ClientRequest {
+                client: NodeId(5),
+                op_id: 9,
+                op: Op::SyntheticWrite {
+                    count: 100,
+                    op_bytes: 16,
+                },
+            },
+            arrival: Time::ZERO,
+        });
+        assert_eq!(s.weight(), 102);
+    }
+}

@@ -1,0 +1,568 @@
+//! End-to-end Canopus cluster tests on the deterministic simulator.
+//!
+//! These exercise the §6 correctness properties (agreement, FIFO,
+//! linearizability, liveness-or-stall) across LOT shapes, failure
+//! scenarios, and both read modes.
+
+use bytes::Bytes;
+use canopus::{
+    CanopusConfig, CanopusNode, CanopusMsg, CanopusStats, CommittedOp, CycleTrigger,
+    EmulationTable, LotShape, ReadMode,
+};
+use canopus_kv::{
+    check_agreement, check_client_fifo, ClientReply, ClientRequest, LinChecker, Op, OpResult,
+    ReadObs, ReplyEvent, WriteObs,
+};
+use canopus_sim::{
+    impl_process_any, Context, Dur, NodeId, Process, Simulation, Time, Timer, UniformFabric,
+};
+
+// ---------------------------------------------------------------------
+// Test client
+// ---------------------------------------------------------------------
+
+/// A scripted client: sends each op at its scheduled time, records replies.
+struct ScriptClient {
+    target: NodeId,
+    script: Vec<(Dur, Op)>, // must be sorted by time
+    cursor: usize,
+    sent: Vec<(u64, Time)>, // (op_id, send time)
+    replies: Vec<(u64, OpResult, Time)>,
+}
+
+impl ScriptClient {
+    fn new(target: NodeId, script: Vec<(Dur, Op)>) -> Self {
+        ScriptClient {
+            target,
+            script,
+            cursor: 0,
+            sent: Vec::new(),
+            replies: Vec::new(),
+        }
+    }
+
+    fn arm_next(&self, ctx: &mut Context<'_, CanopusMsg>) {
+        if let Some((when, _)) = self.script.get(self.cursor) {
+            let delay = (Time::ZERO + *when).saturating_since(ctx.now());
+            ctx.set_timer(delay, 0);
+        }
+    }
+}
+
+impl Process<CanopusMsg> for ScriptClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        self.arm_next(ctx);
+    }
+
+    fn on_timer(&mut self, _t: Timer, ctx: &mut Context<'_, CanopusMsg>) {
+        let (_, op) = self.script[self.cursor].clone();
+        let op_id = self.cursor as u64;
+        self.cursor += 1;
+        self.sent.push((op_id, ctx.now()));
+        ctx.send(
+            self.target,
+            CanopusMsg::Request(ClientRequest {
+                client: ctx.id(),
+                op_id,
+                op,
+            }),
+        );
+        self.arm_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: CanopusMsg, ctx: &mut Context<'_, CanopusMsg>) {
+        if let CanopusMsg::Reply(ClientReply { op_id, result, .. }) = msg {
+            self.replies.push((op_id, result, ctx.now()));
+        }
+    }
+
+    impl_process_any!();
+}
+
+// ---------------------------------------------------------------------
+// Cluster builder
+// ---------------------------------------------------------------------
+
+struct Cluster {
+    sim: Simulation<CanopusMsg, UniformFabric>,
+    nodes: Vec<NodeId>,
+}
+
+fn build_cluster(shape: LotShape, per_leaf: usize, cfg: &CanopusConfig, seed: u64) -> Cluster {
+    let leaves = shape.num_superleaves();
+    let mut membership = Vec::new();
+    let mut next = 0u32;
+    for _ in 0..leaves {
+        let members: Vec<NodeId> = (0..per_leaf).map(|i| NodeId(next + i as u32)).collect();
+        next += per_leaf as u32;
+        membership.push(members);
+    }
+    let table = EmulationTable::new(shape, membership);
+    let mut sim = Simulation::new(UniformFabric::new(Dur::micros(50)), seed);
+    let mut nodes = Vec::new();
+    for i in 0..next {
+        let node = CanopusNode::new(NodeId(i), table.clone(), cfg.clone(), seed ^ 0x9e37);
+        let id = sim.add_node(Box::new(node));
+        assert_eq!(id, NodeId(i));
+        nodes.push(id);
+    }
+    Cluster { sim, nodes }
+}
+
+fn add_client(cluster: &mut Cluster, target: NodeId, script: Vec<(Dur, Op)>) -> NodeId {
+    cluster
+        .sim
+        .add_node(Box::new(ScriptClient::new(target, script)))
+}
+
+fn put(key: u64, tag: u8) -> Op {
+    Op::Put {
+        key,
+        value: Bytes::from(vec![tag; 8]),
+    }
+}
+
+/// The per-node commit histories as comparable entries.
+fn commit_histories(cluster: &Cluster) -> Vec<Vec<(u64, u32, u64)>> {
+    cluster
+        .nodes
+        .iter()
+        .map(|&n| {
+            let node = cluster.sim.node::<CanopusNode>(n);
+            node.committed_log()
+                .iter()
+                .flat_map(|c| {
+                    c.sets.iter().flat_map(|s| {
+                        s.ops.iter().map(|op| match *op {
+                            CommittedOp::Put {
+                                client,
+                                op_id,
+                                key,
+                                ..
+                            } => (key, client.0, op_id),
+                            CommittedOp::Synthetic { client, op_id, .. } => {
+                                (u64::MAX, client.0, op_id)
+                            }
+                        })
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn stats_of(cluster: &Cluster, n: NodeId) -> CanopusStats {
+    cluster.sim.node::<CanopusNode>(n).stats()
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_superleaf_commits_writes() {
+    let cfg = CanopusConfig::default();
+    let mut cluster = build_cluster(LotShape::flat(1), 3, &cfg, 1);
+    let script: Vec<(Dur, Op)> = (0..5)
+        .map(|i| (Dur::millis(1 + i), put(i, i as u8)))
+        .collect();
+    add_client(&mut cluster, NodeId(0), script);
+    cluster.sim.run_for(Dur::millis(200));
+
+    for &n in &cluster.nodes {
+        let s = stats_of(&cluster, n);
+        assert_eq!(s.committed_weight, 5, "{n} committed all writes");
+        assert!(s.committed_cycles >= 1);
+    }
+    assert!(check_agreement(&commit_histories(&cluster)).is_ok());
+}
+
+#[test]
+fn two_superleaves_agree_on_total_order() {
+    let cfg = CanopusConfig::default();
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 2);
+    // Clients on nodes in both super-leaves, writing concurrently.
+    for (i, &target) in [NodeId(0), NodeId(1), NodeId(3), NodeId(5)].iter().enumerate() {
+        let script: Vec<(Dur, Op)> = (0..8)
+            .map(|k| (Dur::micros(500 + 137 * k + i as u64 * 53), put(100 + k, i as u8)))
+            .collect();
+        add_client(&mut cluster, target, script);
+    }
+    cluster.sim.run_for(Dur::millis(500));
+
+    let histories = commit_histories(&cluster);
+    assert!(check_agreement(&histories).is_ok(), "logs diverged");
+    for (i, h) in histories.iter().enumerate() {
+        assert_eq!(h.len(), 32, "node {i} committed all 32 writes");
+    }
+    // Digest equality across nodes.
+    let d0 = stats_of(&cluster, NodeId(0)).commit_digest;
+    for &n in &cluster.nodes {
+        assert_eq!(stats_of(&cluster, n).commit_digest, d0);
+    }
+    // Emulation tables identical.
+    let t0 = cluster
+        .sim
+        .node::<CanopusNode>(NodeId(0))
+        .emulation_table()
+        .digest();
+    for &n in &cluster.nodes {
+        assert_eq!(
+            cluster.sim.node::<CanopusNode>(n).emulation_table().digest(),
+            t0
+        );
+    }
+}
+
+#[test]
+fn height_three_lot_agrees() {
+    // Figure 1 shape scaled down: fanouts [2,2] => 4 super-leaves, h=3.
+    let cfg = CanopusConfig::default();
+    let shape = LotShape::new(vec![2, 2]);
+    let mut cluster = build_cluster(shape, 3, &cfg, 3);
+    for leaf in 0..4u32 {
+        let target = NodeId(leaf * 3);
+        let script: Vec<(Dur, Op)> = (0..6)
+            .map(|k| (Dur::micros(300 + 211 * k), put(leaf as u64 * 10 + k, leaf as u8)))
+            .collect();
+        add_client(&mut cluster, target, script);
+    }
+    cluster.sim.run_for(Dur::millis(800));
+
+    let histories = commit_histories(&cluster);
+    assert!(check_agreement(&histories).is_ok());
+    for h in &histories {
+        assert_eq!(h.len(), 24, "all 24 writes committed everywhere");
+    }
+}
+
+#[test]
+fn reads_observe_writes_linearizably() {
+    let cfg = CanopusConfig::default();
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 4);
+    // Writer client on node 0; reader clients on nodes in both leaves.
+    let writes: Vec<(Dur, Op)> = (0..10)
+        .map(|k| (Dur::millis(2 * k + 1), put(7, k as u8)))
+        .collect();
+    add_client(&mut cluster, NodeId(0), writes);
+    let reads_a: Vec<(Dur, Op)> = (0..10)
+        .map(|k| (Dur::millis(2 * k + 2), Op::Get { key: 7 }))
+        .collect();
+    let reader_a = add_client(&mut cluster, NodeId(4), reads_a);
+    let reads_b: Vec<(Dur, Op)> = (0..10)
+        .map(|k| (Dur::millis(2 * k + 2), Op::Get { key: 7 }))
+        .collect();
+    let reader_b = add_client(&mut cluster, NodeId(2), reads_b);
+    cluster.sim.run_for(Dur::millis(500));
+
+    // Build the linearizability checker from node 0's commit log.
+    let mut checker = LinChecker::new();
+    {
+        let node = cluster.sim.node::<CanopusNode>(NodeId(0));
+        for cc in node.committed_log() {
+            for set in &cc.sets {
+                for op in &set.ops {
+                    if let CommittedOp::Put { key, version, .. } = *op {
+                        checker.record_write(WriteObs {
+                            key,
+                            version,
+                            committed: cc.at,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Validate all reads. Values encode the version via the write tag:
+    // version v was written with tag v-1 (write k creates version k+1).
+    let mut total_reads = 0;
+    for reader in [reader_a, reader_b] {
+        let client = cluster.sim.node::<ScriptClient>(reader);
+        assert_eq!(client.replies.len(), 10, "all reads answered");
+        for (op_id, result, at) in &client.replies {
+            let (_, sent) = client.sent[*op_id as usize];
+            let version = match result {
+                OpResult::Value(None) => 0,
+                OpResult::Value(Some(v)) => v[0] as u64 + 1,
+                other => panic!("unexpected read result {other:?}"),
+            };
+            let obs = ReadObs {
+                key: 7,
+                version,
+                invoke: sent,
+                respond: *at,
+            };
+            checker.check_read(obs).unwrap_or_else(|e| {
+                panic!("linearizability violation at reader {reader}: {e:?}")
+            });
+            total_reads += 1;
+        }
+    }
+    assert_eq!(total_reads, 20);
+}
+
+#[test]
+fn client_fifo_order_is_preserved() {
+    let cfg = CanopusConfig::default();
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 5);
+    // One client interleaving writes and reads rapid-fire at one node.
+    let mut script = Vec::new();
+    for k in 0..20u64 {
+        let op = if k % 3 == 0 {
+            Op::Get { key: 1 }
+        } else {
+            put(1, k as u8)
+        };
+        script.push((Dur::micros(100 * k + 50), op));
+    }
+    let client = add_client(&mut cluster, NodeId(1), script);
+    cluster.sim.run_for(Dur::millis(500));
+
+    let c = cluster.sim.node::<ScriptClient>(client);
+    assert_eq!(c.replies.len(), 20, "all ops answered");
+    let events: Vec<ReplyEvent> = c
+        .replies
+        .iter()
+        .map(|(op_id, _, at)| ReplyEvent {
+            client,
+            op_id: *op_id,
+            at: *at,
+        })
+        .collect();
+    check_client_fifo(&events).expect("client FIFO order");
+}
+
+#[test]
+fn pipelined_mode_commits_under_load() {
+    let mut cfg = CanopusConfig::default();
+    cfg.trigger = CycleTrigger::Pipelined;
+    cfg.cycle_interval = Dur::millis(2);
+    let mut cluster = build_cluster(LotShape::flat(3), 3, &cfg, 6);
+    for leaf in 0..3u32 {
+        let target = NodeId(leaf * 3 + 1);
+        let script: Vec<(Dur, Op)> = (0..30)
+            .map(|k| (Dur::micros(200 * k + 79), put(leaf as u64 * 100 + k, leaf as u8)))
+            .collect();
+        add_client(&mut cluster, target, script);
+    }
+    cluster.sim.run_for(Dur::millis(500));
+
+    let histories = commit_histories(&cluster);
+    assert!(check_agreement(&histories).is_ok());
+    for h in &histories {
+        assert_eq!(h.len(), 90);
+    }
+    let s = stats_of(&cluster, NodeId(0));
+    assert!(
+        s.committed_cycles >= 3,
+        "pipelined mode ran multiple cycles: {}",
+        s.committed_cycles
+    );
+}
+
+#[test]
+fn node_failure_excludes_and_consensus_continues() {
+    let mut cfg = CanopusConfig::default();
+    cfg.failure_timeout = Dur::millis(15);
+    cfg.fetch_timeout = Dur::millis(40);
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 7);
+    // Client writes continuously to node 0 (super-leaf 0).
+    let script: Vec<(Dur, Op)> = (0..40)
+        .map(|k| (Dur::millis(2 * k + 1), put(k, k as u8)))
+        .collect();
+    let client = add_client(&mut cluster, NodeId(0), script);
+    // Run a bit, then crash node 1 (same super-leaf as the loaded node).
+    cluster.sim.run_for(Dur::millis(10));
+    cluster.sim.crash(NodeId(1));
+    cluster.sim.run_for(Dur::millis(400));
+
+    // The survivors must keep committing: all 40 writes eventually commit.
+    let c = cluster.sim.node::<ScriptClient>(client);
+    assert_eq!(c.replies.len(), 40, "writes complete despite peer failure");
+    // Survivor logs agree.
+    let survivors: Vec<Vec<(u64, u32, u64)>> = cluster
+        .nodes
+        .iter()
+        .filter(|&&n| n != NodeId(1))
+        .map(|&n| {
+            cluster
+                .sim
+                .node::<CanopusNode>(n)
+                .committed_log()
+                .iter()
+                .flat_map(|cc| {
+                    cc.sets.iter().flat_map(|s| {
+                        s.ops.iter().map(|op| match *op {
+                            CommittedOp::Put { client, op_id, key, .. } => (key, client.0, op_id),
+                            CommittedOp::Synthetic { client, op_id, .. } => {
+                                (u64::MAX, client.0, op_id)
+                            }
+                        })
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    assert!(check_agreement(&survivors).is_ok());
+    // The failed node was removed from every surviving emulation table.
+    for &n in cluster.nodes.iter().filter(|&&n| n != NodeId(1)) {
+        let node = cluster.sim.node::<CanopusNode>(n);
+        assert_eq!(
+            node.emulation_table().superleaf_of(NodeId(1)),
+            None,
+            "{n} still lists the dead node"
+        );
+    }
+}
+
+#[test]
+fn superleaf_failure_stalls_without_divergence() {
+    let mut cfg = CanopusConfig::default();
+    cfg.failure_timeout = Dur::millis(15);
+    cfg.fetch_timeout = Dur::millis(50);
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 8);
+    let script: Vec<(Dur, Op)> = (0..30)
+        .map(|k| (Dur::millis(3 * k + 1), put(k, k as u8)))
+        .collect();
+    add_client(&mut cluster, NodeId(0), script);
+    cluster.sim.run_for(Dur::millis(20));
+    // Kill the entire second super-leaf.
+    cluster.sim.crash(NodeId(3));
+    cluster.sim.crash(NodeId(4));
+    cluster.sim.crash(NodeId(5));
+    cluster.sim.run_for(Dur::millis(300));
+    let committed_mid = stats_of(&cluster, NodeId(0)).committed_cycles;
+    cluster.sim.run_for(Dur::millis(300));
+    let committed_late = stats_of(&cluster, NodeId(0)).committed_cycles;
+
+    // Consensus stalls: no further cycles complete (§3.3: halt until the
+    // rack recovers).
+    assert_eq!(
+        committed_mid, committed_late,
+        "consensus must stall when a super-leaf fails"
+    );
+    // And the survivors never diverged.
+    let survivors: Vec<Vec<(u64, u32, u64)>> = [NodeId(0), NodeId(1), NodeId(2)]
+        .iter()
+        .map(|&n| {
+            cluster
+                .sim
+                .node::<CanopusNode>(n)
+                .committed_log()
+                .iter()
+                .flat_map(|cc| {
+                    cc.sets.iter().flat_map(|s| {
+                        s.ops.iter().map(|op| match *op {
+                            CommittedOp::Put { client, op_id, key, .. } => (key, client.0, op_id),
+                            CommittedOp::Synthetic { client, op_id, .. } => {
+                                (u64::MAX, client.0, op_id)
+                            }
+                        })
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    assert!(check_agreement(&survivors).is_ok());
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = |seed: u64| {
+        let cfg = CanopusConfig::default();
+        let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, seed);
+        for (i, &target) in [NodeId(0), NodeId(4)].iter().enumerate() {
+            let script: Vec<(Dur, Op)> = (0..10)
+                .map(|k| (Dur::micros(400 * k + 31), put(k, i as u8)))
+                .collect();
+            add_client(&mut cluster, target, script);
+        }
+        cluster.sim.run_for(Dur::millis(300));
+        (
+            commit_histories(&cluster),
+            stats_of(&cluster, NodeId(0)).commit_digest,
+            cluster.sim.events_processed(),
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed, same history");
+}
+
+#[test]
+fn empty_cluster_stays_idle() {
+    let cfg = CanopusConfig::default();
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 9);
+    cluster.sim.run_for(Dur::millis(200));
+    for &n in &cluster.nodes {
+        let s = stats_of(&cluster, n);
+        assert_eq!(s.committed_cycles, 0, "no cycles without client traffic");
+    }
+}
+
+#[test]
+fn lease_mode_serves_uncontended_reads_fast_and_linearizably() {
+    let mut cfg = CanopusConfig::default();
+    cfg.read_mode = ReadMode::Leases;
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 10);
+    // Writer hammers key 1; reader reads both key 1 (contended) and key 99
+    // (never written -> always fast).
+    let writes: Vec<(Dur, Op)> = (0..10)
+        .map(|k| (Dur::millis(3 * k + 1), put(1, k as u8)))
+        .collect();
+    add_client(&mut cluster, NodeId(0), writes);
+    let mut reads = Vec::new();
+    for k in 0..10u64 {
+        reads.push((Dur::millis(3 * k + 2), Op::Get { key: 1 }));
+        reads.push((Dur::micros(3000 * k + 2500), Op::Get { key: 99 }));
+    }
+    reads.sort_by_key(|(d, _)| *d);
+    let reader = add_client(&mut cluster, NodeId(4), reads);
+    cluster.sim.run_for(Dur::millis(600));
+
+    let mut checker = LinChecker::new();
+    {
+        let node = cluster.sim.node::<CanopusNode>(NodeId(0));
+        for cc in node.committed_log() {
+            for set in &cc.sets {
+                for op in &set.ops {
+                    if let CommittedOp::Put { key, version, .. } = *op {
+                        checker.record_write(WriteObs {
+                            key,
+                            version,
+                            committed: cc.at,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let client = cluster.sim.node::<ScriptClient>(reader);
+    assert_eq!(client.replies.len(), 20, "all reads answered");
+    for (op_id, result, at) in &client.replies {
+        let (_, sent) = client.sent[*op_id as usize];
+        // Key is recoverable from the script.
+        let key = match &client.script[*op_id as usize].1 {
+            Op::Get { key } => *key,
+            _ => unreachable!(),
+        };
+        let version = match result {
+            OpResult::Value(None) => 0,
+            OpResult::Value(Some(v)) => v[0] as u64 + 1,
+            other => panic!("unexpected {other:?}"),
+        };
+        checker
+            .check_read(ReadObs {
+                key,
+                version,
+                invoke: sent,
+                respond: *at,
+            })
+            .unwrap_or_else(|e| panic!("lease-mode linearizability violation: {e:?}"));
+    }
+    // The never-written key must have been served from the fast path.
+    let node4 = cluster.sim.node::<CanopusNode>(NodeId(4));
+    assert!(
+        node4.stats().lease_fast_reads >= 10,
+        "uncontended reads took the fast path: {}",
+        node4.stats().lease_fast_reads
+    );
+}

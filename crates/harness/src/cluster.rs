@@ -1,0 +1,158 @@
+//! Cluster builders: a full protocol deployment plus its clients on the
+//! topology-aware simulator.
+//!
+//! Per the paper's client model (§8.1), every protocol node has clients in
+//! its own rack/datacenter; we aggregate them into one open-loop Poisson
+//! client process per node, splitting the offered load evenly.
+
+use canopus::{CanopusConfig, CanopusMsg, CanopusNode, CycleTrigger, EmulationTable, LotShape};
+use canopus_epaxos::{EpaxosConfig, EpaxosMsg, EpaxosNode};
+use canopus_net::ClosFabric;
+use canopus_sim::{Dur, NodeConfig, NodeId, Payload, Process, Simulation};
+use canopus_workload::{OpenLoopClient, OpenLoopConfig, ProtocolMsg};
+
+use canopus_zab::{ZabConfig, ZabMsg, ZabNode};
+
+use crate::spec::{DeploymentSpec, LoadSpec, TopoSpec};
+
+/// A built cluster: the simulation, the protocol node ids, and the client
+/// process ids (parallel to the node list).
+pub struct Cluster<M: Payload> {
+    /// The simulation, ready to run.
+    pub sim: Simulation<M, ClosFabric>,
+    /// Protocol node ids (dense, starting at 0).
+    pub nodes: Vec<NodeId>,
+    /// One aggregated client per node, in node order.
+    pub clients: Vec<NodeId>,
+}
+
+/// Tuning knobs common to all protocol builders.
+fn client_node_config() -> NodeConfig {
+    // Client machines are dedicated (15 machines for 180 clients in the
+    // paper); don't let them become the bottleneck.
+    NodeConfig {
+        base_msg_cost: Dur::nanos(200),
+        per_send_cost: Dur::nanos(100),
+    }
+}
+
+fn build_generic<M, F>(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    seed: u64,
+    mut make_node: F,
+) -> Cluster<M>
+where
+    M: Payload,
+    OpenLoopClient<M>: Process<M>,
+    M: ProtocolMsg,
+    F: FnMut(NodeId) -> Box<dyn Process<M>>,
+{
+    let mut topo = spec.build_topology();
+    let n = spec.node_count();
+    // Place one client per protocol node in the same rack.
+    let mut client_slots = Vec::with_capacity(n);
+    for i in 0..n {
+        let rack = topo.rack_of(NodeId(i as u32));
+        client_slots.push(topo.add_node(rack));
+    }
+    let fabric = ClosFabric::new(topo);
+    let mut sim = Simulation::new(fabric, seed);
+    let mut nodes = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = sim.add_node(make_node(NodeId(i as u32)));
+        assert_eq!(id, NodeId(i as u32), "node ids must match topology");
+        nodes.push(id);
+    }
+    let mut clients = Vec::with_capacity(n);
+    let per_client_rate = load.total_rate / n as f64;
+    for (i, &slot) in client_slots.iter().enumerate() {
+        let cfg = OpenLoopConfig {
+            rate_per_sec: per_client_rate,
+            write_ratio: load.write_ratio,
+            tick: Dur::millis(1),
+            op_bytes: 16,
+            warmup: load.warmup,
+        };
+        let client = OpenLoopClient::<M>::new(nodes[i], cfg, seed ^ (0xC11E47 + i as u64));
+        let id = sim.add_node_with(Box::new(client), client_node_config());
+        assert_eq!(id, slot, "client ids must match topology");
+        clients.push(id);
+    }
+    Cluster { sim, nodes, clients }
+}
+
+/// The default Canopus configuration for a deployment: self-clocked cycles
+/// in a single datacenter, pipelined 5 ms cycles across datacenters (§8.2).
+pub fn canopus_config_for(spec: &DeploymentSpec) -> CanopusConfig {
+    match spec.topo {
+        TopoSpec::SingleDc { .. } => CanopusConfig {
+            trigger: CycleTrigger::OnCommit,
+            fetch_timeout: Dur::millis(25),
+            failure_timeout: Dur::millis(60),
+            raft: canopus_raft::RaftConfig {
+                heartbeat_interval: Dur::millis(5),
+                election_timeout_min: Dur::millis(25),
+                election_timeout_max: Dur::millis(50),
+            },
+            record_log: false,
+            ..CanopusConfig::default()
+        },
+        TopoSpec::MultiDc { .. } => CanopusConfig {
+            record_log: false,
+            ..CanopusConfig::wide_area()
+        },
+    }
+}
+
+/// Builds a Canopus cluster: one super-leaf per rack/datacenter.
+pub fn build_canopus(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: CanopusConfig,
+    seed: u64,
+) -> Cluster<CanopusMsg> {
+    let groups = spec.group_count();
+    let per = spec.per_group();
+    let shape = LotShape::flat(groups as u16);
+    let membership: Vec<Vec<NodeId>> = (0..groups)
+        .map(|g| {
+            (0..per)
+                .map(|i| NodeId((g * per + i) as u32))
+                .collect()
+        })
+        .collect();
+    let table = EmulationTable::new(shape, membership);
+    build_generic(spec, load, seed, |id| {
+        Box::new(CanopusNode::new(id, table.clone(), cfg.clone(), seed))
+    })
+}
+
+/// Builds an EPaxos cluster over the same deployment.
+pub fn build_epaxos(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: EpaxosConfig,
+    seed: u64,
+) -> Cluster<EpaxosMsg> {
+    let n = spec.node_count();
+    let replicas: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    build_generic(spec, load, seed, |id| {
+        Box::new(EpaxosNode::new(id, replicas.clone(), cfg.clone()))
+    })
+}
+
+/// Builds a ZooKeeper-model cluster: `participants` quorum members (leader
+/// = node 0), the rest observers — the paper's Figure 5 configuration.
+pub fn build_zab(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: ZabConfig,
+    seed: u64,
+) -> Cluster<ZabMsg> {
+    let n = spec.node_count();
+    let ensemble: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    build_generic(spec, load, seed, |id| {
+        Box::new(ZabNode::new(id, ensemble.clone(), cfg.clone()))
+    })
+}

@@ -1,0 +1,23 @@
+//! # canopus-harness — experiment orchestration
+//!
+//! Builds full protocol deployments (Canopus, EPaxos, the ZooKeeper model)
+//! on the topology-aware simulator, drives them with the paper's client
+//! model, and implements the evaluation methodology of §8.1: geometric
+//! load ladders to the 10 ms latency knee for maximum throughput, and
+//! representative latency at 70 % of that maximum. The `canopus-bench`
+//! binaries regenerate every table and figure from these pieces.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod run;
+pub mod spec;
+pub mod table;
+
+pub use cluster::{build_canopus, build_epaxos, build_zab, canopus_config_for, Cluster};
+pub use run::{
+    deterministic_check, find_max_throughput, latency_at_70pct, run_canopus, run_epaxos,
+    run_zab, RunResult, SearchResult, SearchSpec,
+};
+pub use spec::{DeploymentSpec, LoadSpec, TopoSpec};
+pub use table::{fmt_dur, fmt_rate, render_table};

@@ -1,0 +1,98 @@
+//! Plain-text table and unit formatting for experiment output.
+
+use canopus_sim::Dur;
+
+/// Formats a rate as `12.3 k/s` / `4.56 M/s`.
+pub fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2} M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} k/s", rate / 1e3)
+    } else {
+        format!("{rate:.0} /s")
+    }
+}
+
+/// Formats an optional duration as milliseconds.
+pub fn fmt_dur(d: Option<Dur>) -> String {
+    match d {
+        Some(d) => format!("{:.2} ms", d.as_millis_f64()),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_format() {
+        assert_eq!(fmt_rate(2_610_000.0), "2.61 M/s");
+        assert_eq!(fmt_rate(45_300.0), "45.3 k/s");
+        assert_eq!(fmt_rate(120.0), "120 /s");
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_dur(Some(Dur::micros(2500))), "2.50 ms");
+        assert_eq!(fmt_dur(None), "-");
+    }
+
+    #[test]
+    fn tables_align() {
+        let t = render_table(
+            &["proto", "rate"],
+            &[
+                vec!["canopus".into(), "2.61 M/s".into()],
+                vec!["epaxos".into(), "450 k/s".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{t}");
+        assert!(t.contains("| canopus | 2.61 M/s |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_rejected() {
+        render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Consistency checkers used by the test suites.
+//!
+//! Three of the paper's correctness properties (§6) are checked mechanically
+//! across this repository's integration and property tests:
+//!
+//! * **Agreement** — all correct nodes commit the same ordered sequence
+//!   ([`check_agreement`]).
+//! * **FIFO order of client requests** — replies to one client arrive in
+//!   issue order ([`check_client_fifo`]).
+//! * **Linearizability** — reads and writes are consistent with a total
+//!   order that respects real-time ([`LinChecker`]): a read that returns
+//!   version `v` of a key must overlap in real time with the window in
+//!   which `v` was the latest committed version.
+
+use std::collections::BTreeMap;
+
+use canopus_sim::{NodeId, Time};
+
+use crate::op::Key;
+
+/// Result of a failed agreement check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first differing entry.
+    pub index: usize,
+    /// Which replica diverged from replica 0.
+    pub replica: usize,
+}
+
+/// Verifies all replicas committed identical sequences. Shorter logs must
+/// be prefixes of the longest (a lagging replica is fine; a diverging one
+/// is not). Entries are compared with `Eq`.
+pub fn check_agreement<T: Eq + std::fmt::Debug>(logs: &[Vec<T>]) -> Result<(), Divergence> {
+    if logs.is_empty() {
+        return Ok(());
+    }
+    let longest = logs.iter().map(|l| l.len()).max().unwrap_or(0);
+    for index in 0..longest {
+        let mut reference: Option<(&T, usize)> = None;
+        for (replica, log) in logs.iter().enumerate() {
+            if let Some(entry) = log.get(index) {
+                match reference {
+                    None => reference = Some((entry, replica)),
+                    Some((r, _)) if r == entry => {}
+                    Some(_) => return Err(Divergence { index, replica }),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A reply observed by a client, for FIFO checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyEvent {
+    /// The client.
+    pub client: NodeId,
+    /// Issue order of the op at this client (client-assigned, increasing).
+    pub op_id: u64,
+    /// When the reply was received.
+    pub at: Time,
+}
+
+/// Verifies each client's replies arrive in the order its requests were
+/// issued (the paper's "FIFO order of client requests": if a node receives
+/// `ra` before `rb`, it replies `ra` before `rb`). Returns the offending
+/// pair on failure.
+pub fn check_client_fifo(replies: &[ReplyEvent]) -> Result<(), (ReplyEvent, ReplyEvent)> {
+    let mut last: BTreeMap<NodeId, ReplyEvent> = BTreeMap::new();
+    for &event in replies {
+        if let Some(&prev) = last.get(&event.client) {
+            if event.op_id < prev.op_id {
+                return Err((prev, event));
+            }
+        }
+        last.insert(event.client, event);
+    }
+    Ok(())
+}
+
+/// A write observation: version `version` of `key` became the latest at
+/// `committed` (commit order timestamps must be consistent across replicas,
+/// which [`check_agreement`] establishes separately).
+#[derive(Debug, Clone, Copy)]
+pub struct WriteObs {
+    /// Key written.
+    pub key: Key,
+    /// Version this write produced (1-based per key).
+    pub version: u64,
+    /// When the write was committed/applied.
+    pub committed: Time,
+}
+
+/// A read observation: a client invoked a read of `key` at `invoke`,
+/// received the response at `respond`, and observed `version` (0 = absent).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadObs {
+    /// Key read.
+    pub key: Key,
+    /// Observed version (0 if the key was absent).
+    pub version: u64,
+    /// Invocation time at the client.
+    pub invoke: Time,
+    /// Response time at the client.
+    pub respond: Time,
+}
+
+/// A linearizability violation.
+#[derive(Debug, Clone, Copy)]
+pub struct LinViolation {
+    /// The offending read.
+    pub read: ReadObs,
+    /// Why it is illegal.
+    pub reason: LinReason,
+}
+
+/// Classification of a linearizability violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinReason {
+    /// The read returned a version committed after the response time.
+    FromTheFuture,
+    /// The read returned a version already overwritten before the
+    /// invocation time (a stale read).
+    Stale,
+    /// The read returned a version that was never written.
+    NeverWritten,
+}
+
+/// Interval-based linearizability checker for versioned registers.
+///
+/// Sound for histories where every key's writes are totally ordered with
+/// known commit times (exactly what a consensus commit log provides): a
+/// read returning version `v` is legal iff the interval during which `v`
+/// was latest — `[commit(v), commit(v+1))` — overlaps the read's
+/// `[invoke, respond]` window. Version 0 (absent) is legal iff the first
+/// write committed after the read was invoked (or never).
+#[derive(Debug, Default)]
+pub struct LinChecker {
+    /// Per key: commit time of each version, indexed by `version - 1`.
+    writes: BTreeMap<Key, Vec<Time>>,
+}
+
+impl LinChecker {
+    /// New, empty checker.
+    pub fn new() -> Self {
+        LinChecker::default()
+    }
+
+    /// Records a committed write. Writes per key must be recorded in
+    /// version order.
+    pub fn record_write(&mut self, obs: WriteObs) {
+        let versions = self.writes.entry(obs.key).or_default();
+        assert_eq!(
+            versions.len() as u64 + 1,
+            obs.version,
+            "writes must be recorded in version order for key {}",
+            obs.key
+        );
+        versions.push(obs.committed);
+    }
+
+    /// Checks a read against the recorded writes.
+    pub fn check_read(&self, read: ReadObs) -> Result<(), LinViolation> {
+        let versions = self.writes.get(&read.key).map(Vec::as_slice).unwrap_or(&[]);
+        if read.version == 0 {
+            // Absent: legal iff the first write (if any) wasn't yet
+            // committed when the read started... more precisely, the read
+            // may linearize any point in [invoke, respond] before the first
+            // commit.
+            if let Some(&first) = versions.first() {
+                if first <= read.invoke {
+                    return Err(LinViolation {
+                        read,
+                        reason: LinReason::Stale,
+                    });
+                }
+            }
+            return Ok(());
+        }
+        let idx = (read.version - 1) as usize;
+        let Some(&committed) = versions.get(idx) else {
+            return Err(LinViolation {
+                read,
+                reason: LinReason::NeverWritten,
+            });
+        };
+        if committed > read.respond {
+            return Err(LinViolation {
+                read,
+                reason: LinReason::FromTheFuture,
+            });
+        }
+        if let Some(&next) = versions.get(idx + 1) {
+            if next <= read.invoke {
+                return Err(LinViolation {
+                    read,
+                    reason: LinReason::Stale,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a batch of reads, returning every violation.
+    pub fn check_all(&self, reads: &[ReadObs]) -> Vec<LinViolation> {
+        reads
+            .iter()
+            .filter_map(|&r| self.check_read(r).err())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_sim::Dur;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::millis(ms)
+    }
+
+    #[test]
+    fn agreement_accepts_identical_and_prefixes() {
+        let logs = vec![vec![1, 2, 3], vec![1, 2], vec![1, 2, 3]];
+        assert!(check_agreement(&logs).is_ok());
+    }
+
+    #[test]
+    fn agreement_rejects_divergence() {
+        let logs = vec![vec![1, 2, 3], vec![1, 9, 3]];
+        let err = check_agreement(&logs).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.replica, 1);
+    }
+
+    #[test]
+    fn fifo_accepts_ordered_and_rejects_reordered() {
+        let ok = vec![
+            ReplyEvent {
+                client: NodeId(1),
+                op_id: 1,
+                at: t(1),
+            },
+            ReplyEvent {
+                client: NodeId(2),
+                op_id: 5,
+                at: t(1),
+            },
+            ReplyEvent {
+                client: NodeId(1),
+                op_id: 2,
+                at: t(2),
+            },
+        ];
+        assert!(check_client_fifo(&ok).is_ok());
+        let bad = vec![
+            ReplyEvent {
+                client: NodeId(1),
+                op_id: 2,
+                at: t(1),
+            },
+            ReplyEvent {
+                client: NodeId(1),
+                op_id: 1,
+                at: t(2),
+            },
+        ];
+        assert!(check_client_fifo(&bad).is_err());
+    }
+
+    fn checker_with_two_writes() -> LinChecker {
+        let mut c = LinChecker::new();
+        c.record_write(WriteObs {
+            key: 1,
+            version: 1,
+            committed: t(10),
+        });
+        c.record_write(WriteObs {
+            key: 1,
+            version: 2,
+            committed: t(20),
+        });
+        c
+    }
+
+    #[test]
+    fn legal_reads_pass() {
+        let c = checker_with_two_writes();
+        // Read overlapping v1's window.
+        assert!(c
+            .check_read(ReadObs {
+                key: 1,
+                version: 1,
+                invoke: t(12),
+                respond: t(15)
+            })
+            .is_ok());
+        // Read of v1 spanning the v2 commit is fine (linearizes before 20).
+        assert!(c
+            .check_read(ReadObs {
+                key: 1,
+                version: 1,
+                invoke: t(15),
+                respond: t(25)
+            })
+            .is_ok());
+        // Read of v2 starting before v2 commits is fine (linearizes after 20).
+        assert!(c
+            .check_read(ReadObs {
+                key: 1,
+                version: 2,
+                invoke: t(15),
+                respond: t(25)
+            })
+            .is_ok());
+        // Absent read before any write.
+        assert!(c
+            .check_read(ReadObs {
+                key: 1,
+                version: 0,
+                invoke: t(1),
+                respond: t(5)
+            })
+            .is_ok());
+        // Unwritten key.
+        assert!(c
+            .check_read(ReadObs {
+                key: 99,
+                version: 0,
+                invoke: t(1),
+                respond: t(100)
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn stale_read_rejected() {
+        let c = checker_with_two_writes();
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 1,
+                invoke: t(21),
+                respond: t(22),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::Stale);
+        // Absent after the first commit is stale too.
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 0,
+                invoke: t(11),
+                respond: t(12),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::Stale);
+    }
+
+    #[test]
+    fn future_read_rejected() {
+        let c = checker_with_two_writes();
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 2,
+                invoke: t(1),
+                respond: t(5),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::FromTheFuture);
+    }
+
+    #[test]
+    fn never_written_rejected() {
+        let c = checker_with_two_writes();
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 7,
+                invoke: t(1),
+                respond: t(50),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::NeverWritten);
+    }
+
+    #[test]
+    #[should_panic(expected = "version order")]
+    fn out_of_order_write_recording_panics() {
+        let mut c = LinChecker::new();
+        c.record_write(WriteObs {
+            key: 1,
+            version: 2,
+            committed: t(1),
+        });
+    }
+}

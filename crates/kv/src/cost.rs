@@ -1,0 +1,52 @@
+//! Shared CPU cost model for protocol nodes.
+//!
+//! All three protocol implementations charge the same classes of work to
+//! the simulator's per-node CPU clock, so cross-protocol throughput
+//! comparisons reflect protocol structure rather than differing cost
+//! assumptions. Values model the paper's Xeon E5-2620 request-processing
+//! costs; they cap per-node throughput exactly the way real marshaling
+//! and syscall costs do.
+
+use canopus_sim::Dur;
+
+/// CPU costs charged by protocol nodes.
+#[derive(Copy, Clone, Debug)]
+pub struct CostModel {
+    /// Cost to ingest one client request (parse, enqueue, bookkeeping).
+    pub per_request: Dur,
+    /// Cost to apply one committed write and emit the reply.
+    pub per_commit: Dur,
+    /// Cost to serve one read from local state.
+    pub per_read: Dur,
+    /// Extra cost per protocol message beyond the simulator's base cost.
+    pub per_protocol_msg: Dur,
+    /// Cost to persist one proposal batch to the log (0 = in-memory
+    /// filesystem as in the paper's §8.1; ~100-500 us models an SSD fsync).
+    pub storage_per_batch: Dur,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_request: Dur::nanos(1200),
+            per_commit: Dur::nanos(1000),
+            per_read: Dur::nanos(800),
+            per_protocol_msg: Dur::micros(2),
+            storage_per_batch: Dur::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let c = CostModel::default();
+        assert!(!c.per_request.is_zero());
+        assert!(!c.per_commit.is_zero());
+        assert!(!c.per_read.is_zero());
+        assert!(c.storage_per_batch.is_zero());
+    }
+}

@@ -1,0 +1,244 @@
+//! The topology-aware fabric: propagation + serialization + queueing.
+//!
+//! [`ClosFabric`] implements [`canopus_sim::Fabric`] over a [`Topology`].
+//! Every message serializes through an ordered chain of queueing points —
+//! sender NIC, rack uplink (when leaving the rack), datacenter WAN egress
+//! (when leaving the DC), receiver-rack downlink, receiver NIC — each a
+//! FIFO link with finite rate. Oversubscription is therefore not a
+//! parameter but an emergent property: nine 10 Gbps hosts sharing a
+//! 20 Gbps uplink are 4.5× oversubscribed exactly as in §8.1 of the paper,
+//! and throughput ceilings in the Figure 4 reproduction come from these
+//! queues (and the CPU model) saturating.
+
+use canopus_sim::{Dur, Fabric, NodeId, Payload, Route, Time};
+use rand::rngs::SmallRng;
+
+use crate::topology::Topology;
+
+/// Per-message fixed overhead added to the payload's `wire_size` to account
+/// for framing, TCP/IP headers, and ack traffic (bytes).
+const PER_MESSAGE_OVERHEAD: usize = 66;
+
+/// One FIFO link: a rate and a high-water mark of queued transmission time.
+#[derive(Copy, Clone, Debug)]
+struct Link {
+    /// Rate in bits per nanosecond (== Gbit/s).
+    gbps: f64,
+    busy_until: Time,
+}
+
+impl Link {
+    fn new(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "link rate must be positive");
+        Link {
+            gbps,
+            busy_until: Time::ZERO,
+        }
+    }
+
+    /// Serialization delay of `bytes` on this link.
+    fn ser_delay(&self, bytes: usize) -> Dur {
+        Dur::nanos(((bytes as f64) * 8.0 / self.gbps).ceil() as u64)
+    }
+
+    /// Passes a message of `bytes` through the link starting no earlier
+    /// than `at`, returning when its last bit leaves the link.
+    fn transmit(&mut self, at: Time, bytes: usize) -> Time {
+        let start = if self.busy_until > at {
+            self.busy_until
+        } else {
+            at
+        };
+        let done = start + self.ser_delay(bytes);
+        self.busy_until = done;
+        done
+    }
+}
+
+/// Topology-aware network fabric with bandwidth queueing.
+pub struct ClosFabric {
+    topo: Topology,
+    /// Host NIC egress, one per node.
+    nic_tx: Vec<Link>,
+    /// Host NIC ingress, one per node.
+    nic_rx: Vec<Link>,
+    /// Rack uplink egress (ToR → aggregation), one per rack.
+    rack_tx: Vec<Link>,
+    /// Rack downlink ingress (aggregation → ToR), one per rack.
+    rack_rx: Vec<Link>,
+    /// WAN egress, one per datacenter.
+    wan_tx: Vec<Link>,
+}
+
+impl ClosFabric {
+    /// Builds the fabric for `topo`. The topology must already contain all
+    /// nodes (adding nodes later is not supported; build the topology first).
+    pub fn new(topo: Topology) -> Self {
+        let p = *topo.params();
+        let nic_tx = vec![Link::new(p.nic_gbps); topo.node_count()];
+        let nic_rx = vec![Link::new(p.nic_gbps); topo.node_count()];
+        let rack_tx = vec![Link::new(p.rack_uplink_gbps); topo.rack_count()];
+        let rack_rx = vec![Link::new(p.rack_uplink_gbps); topo.rack_count()];
+        let wan_tx = vec![Link::new(p.wan_egress_gbps); topo.wan().len()];
+        ClosFabric {
+            topo,
+            nic_tx,
+            nic_rx,
+            rack_tx,
+            rack_rx,
+            wan_tx,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn route_bytes(&mut self, from: NodeId, to: NodeId, bytes: usize, now: Time) -> Time {
+        if from == to {
+            return now + self.topo.params().loopback;
+        }
+        let bytes = bytes + PER_MESSAGE_OVERHEAD;
+        let rack_from = self.topo.rack_of(from);
+        let rack_to = self.topo.rack_of(to);
+        let site_from = self.topo.site_of(from);
+        let site_to = self.topo.site_of(to);
+
+        // Serialize through each queueing point in path order.
+        let mut t = self.nic_tx[from.index()].transmit(now, bytes);
+        if rack_from != rack_to {
+            t = self.rack_tx[rack_from.index()].transmit(t, bytes);
+        }
+        if site_from != site_to {
+            t = self.wan_tx[site_from.index()].transmit(t, bytes);
+        }
+        if rack_from != rack_to {
+            t = self.rack_rx[rack_to.index()].transmit(t, bytes);
+        }
+        t = self.nic_rx[to.index()].transmit(t, bytes);
+
+        t + self.topo.propagation(from, to)
+    }
+}
+
+impl<M: Payload> Fabric<M> for ClosFabric {
+    fn route(&mut self, from: NodeId, to: NodeId, msg: &M, now: Time, _: &mut SmallRng) -> Route {
+        Route::Deliver(self.route_bytes(from, to, msg.wire_size(), now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkParams;
+    use crate::wan::WanMatrix;
+    use rand::SeedableRng;
+
+    #[derive(Debug)]
+    struct Blob(usize);
+    impl Payload for Blob {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    fn deliver_at(f: &mut ClosFabric, from: u32, to: u32, bytes: usize, now: Time) -> Time {
+        match Fabric::<Blob>::route(f, NodeId(from), NodeId(to), &Blob(bytes), now, &mut rng()) {
+            Route::Deliver(t) => t,
+            Route::Drop => panic!("clos fabric never drops"),
+        }
+    }
+
+    #[test]
+    fn intra_rack_latency_dominated_by_propagation_for_small_msgs() {
+        let params = LinkParams::default();
+        let topo = Topology::single_dc(1, 3, params);
+        let mut f = ClosFabric::new(topo);
+        let t = deliver_at(&mut f, 0, 1, 100, Time::ZERO);
+        // 166 bytes over two 10Gbps links ~ 266ns; plus 25us propagation.
+        let lat = t - Time::ZERO;
+        assert!(lat >= params.intra_rack_one_way);
+        assert!(lat < params.intra_rack_one_way + Dur::micros(1), "{lat}");
+    }
+
+    #[test]
+    fn cross_dc_uses_wan_latency() {
+        let params = LinkParams::default();
+        let topo = Topology::multi_dc(WanMatrix::paper_sites(2), 3, params);
+        let mut f = ClosFabric::new(topo);
+        let t = deliver_at(&mut f, 0, 3, 16, Time::ZERO);
+        let lat = t - Time::ZERO;
+        // IR→CA one-way is 66.5ms.
+        assert!(lat >= Dur::from_millis_f64(66.5));
+        assert!(lat < Dur::from_millis_f64(67.0), "{lat}");
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let params = LinkParams::default();
+        let topo = Topology::single_dc(1, 2, params);
+        let mut f = ClosFabric::new(topo);
+        let small = deliver_at(&mut f, 0, 1, 100, Time::ZERO);
+        // Use a fresh fabric so queues are empty.
+        let topo2 = Topology::single_dc(1, 2, params);
+        let mut f2 = ClosFabric::new(topo2);
+        // 10 MB at 10 Gbps is 8ms per link traversal.
+        let big = deliver_at(&mut f2, 0, 1, 10_000_000, Time::ZERO);
+        assert!(big - Time::ZERO > (small - Time::ZERO) + Dur::millis(15));
+    }
+
+    #[test]
+    fn queueing_backs_up_under_load() {
+        let params = LinkParams::default();
+        let topo = Topology::single_dc(1, 2, params);
+        let mut f = ClosFabric::new(topo);
+        // Saturate node 0's NIC with 1MB messages back to back at t=0.
+        let mut last = Time::ZERO;
+        for _ in 0..10 {
+            last = deliver_at(&mut f, 0, 1, 1_000_000, Time::ZERO);
+        }
+        // 10 x 1MB at 10Gbps = ~8ms of serialization, twice (tx + rx nic).
+        assert!(last - Time::ZERO >= Dur::millis(8), "{}", last - Time::ZERO);
+    }
+
+    #[test]
+    fn uplink_is_shared_across_rack_senders() {
+        let params = LinkParams {
+            rack_uplink_gbps: 1.0, // make the uplink the obvious bottleneck
+            ..LinkParams::default()
+        };
+        let topo = Topology::single_dc(2, 3, params);
+        let mut f = ClosFabric::new(topo);
+        // Three nodes in rack 0 each send 1MB cross-rack at t=0.
+        let t0 = deliver_at(&mut f, 0, 3, 1_000_000, Time::ZERO);
+        let t1 = deliver_at(&mut f, 1, 4, 1_000_000, Time::ZERO);
+        let t2 = deliver_at(&mut f, 2, 5, 1_000_000, Time::ZERO);
+        // Each message takes ~8ms on the shared 1Gbps uplink; they serialize.
+        assert!(t1 - Time::ZERO >= (t0 - Time::ZERO) + Dur::millis(7));
+        assert!(t2 - Time::ZERO >= (t1 - Time::ZERO) + Dur::millis(7));
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let params = LinkParams::default();
+        let topo = Topology::single_dc(1, 1, params);
+        let mut f = ClosFabric::new(topo);
+        let t = deliver_at(&mut f, 0, 0, 1_000_000, Time::ZERO);
+        assert_eq!(t - Time::ZERO, params.loopback);
+    }
+
+    #[test]
+    fn delivery_is_monotone_in_send_time() {
+        let params = LinkParams::default();
+        let topo = Topology::single_dc(1, 2, params);
+        let mut f = ClosFabric::new(topo);
+        let a = deliver_at(&mut f, 0, 1, 1000, Time::ZERO);
+        let b = deliver_at(&mut f, 0, 1, 1000, Time::ZERO + Dur::micros(10));
+        assert!(b >= a, "FIFO order on the link");
+    }
+}

@@ -1,0 +1,498 @@
+//! Tokio TCP transport: runs the same sans-IO [`Process`] state machines
+//! over real sockets.
+//!
+//! Frames are a 4-byte little-endian length prefix followed by the
+//! [`Wire`]-encoded message. The first frame on every connection is a
+//! handshake carrying the sender's [`NodeId`]. Outbound connections are
+//! established lazily per peer and re-established with backoff on failure;
+//! like the simulator's fabric, delivery is not guaranteed across a
+//! reconnect (consensus protocols tolerate loss by design).
+//!
+//! This module exists to make the library deployable, and to demonstrate
+//! that the protocol crates are genuinely IO-free: `examples/live_cluster.rs`
+//! runs a Canopus group over loopback TCP with zero changes to protocol
+//! code.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::net::SocketAddr;
+use std::time::Duration as StdDuration;
+
+use bytes::Bytes;
+use canopus_sim::{Context, Effect, NodeId, Payload, Process, Time, Timer, TimerId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{mpsc, oneshot};
+
+use crate::wire::{Wire, WireError, MAX_FRAME};
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF.
+pub async fn read_frame<R: AsyncReadExt + Unpin>(
+    stream: &mut R,
+) -> std::io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf).await {
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::TooLarge(len),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).await?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+/// Writes one length-prefixed frame.
+pub async fn write_frame<W: AsyncWriteExt + Unpin>(
+    stream: &mut W,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    stream.write_all(&len.to_le_bytes()).await?;
+    stream.write_all(payload).await?;
+    Ok(())
+}
+
+/// Static peer address book for a deployment.
+#[derive(Clone, Debug, Default)]
+pub struct PeerMap {
+    addrs: HashMap<NodeId, SocketAddr>,
+}
+
+impl PeerMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        PeerMap::default()
+    }
+
+    /// Registers `node` at `addr`.
+    pub fn insert(&mut self, node: NodeId, addr: SocketAddr) {
+        self.addrs.insert(node, addr);
+    }
+
+    /// Looks up a peer address.
+    pub fn get(&self, node: NodeId) -> Option<SocketAddr> {
+        self.addrs.get(&node).copied()
+    }
+}
+
+/// Handle to one running TCP node.
+pub struct TcpNodeHandle<M: Payload> {
+    /// The node's id.
+    pub id: NodeId,
+    /// The address the node listens on.
+    pub addr: SocketAddr,
+    shutdown: Option<oneshot::Sender<()>>,
+    join: tokio::task::JoinHandle<Box<dyn Process<M>>>,
+}
+
+impl<M: Payload> TcpNodeHandle<M> {
+    /// Requests shutdown and returns the final process state.
+    pub async fn stop(mut self) -> Box<dyn Process<M>> {
+        if let Some(tx) = self.shutdown.take() {
+            let _ = tx.send(());
+        }
+        self.join.await.expect("node task panicked")
+    }
+}
+
+struct TimerEntry {
+    at: Time,
+    id: TimerId,
+    token: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.id.0) == (other.at, other.id.0)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (at, id).
+        (other.at, other.id.0).cmp(&(self.at, self.id.0))
+    }
+}
+
+/// Runs one node over TCP until shutdown; returns the final process state.
+///
+/// `listener` must already be bound; `peers` maps every destination the
+/// process will send to. Messages to unknown peers are dropped with a log
+/// line to stderr (consensus protocols treat this as loss).
+pub async fn run_node<M>(
+    id: NodeId,
+    mut process: Box<dyn Process<M>>,
+    listener: TcpListener,
+    peers: PeerMap,
+    mut shutdown: oneshot::Receiver<()>,
+    seed: u64,
+) -> Box<dyn Process<M>>
+where
+    M: Wire + Payload + Send,
+{
+    let start = tokio::time::Instant::now();
+    let now_fn = move || Time::from_nanos(start.elapsed().as_nanos() as u64);
+
+    let (inbox_tx, mut inbox_rx) = mpsc::channel::<(NodeId, M)>(4096);
+
+    // Accept loop: each inbound connection handshakes, then feeds the inbox.
+    let accept_inbox = inbox_tx.clone();
+    let accept_task = tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else {
+                return;
+            };
+            let inbox = accept_inbox.clone();
+            tokio::spawn(async move {
+                if let Err(e) = serve_connection(stream, inbox).await {
+                    // Connection errors are expected during shutdown/reconnect.
+                    let _ = e;
+                }
+            });
+        }
+    });
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_timer_id: u64 = 0;
+    let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut armed: HashSet<u64> = HashSet::new();
+    let mut outbox: HashMap<NodeId, mpsc::Sender<Bytes>> = HashMap::new();
+
+    // Start the process.
+    {
+        let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
+        process.on_start(&mut ctx);
+        let (effects, _) = ctx.into_effects();
+        apply_effects(
+            id,
+            effects,
+            now_fn(),
+            &mut timers,
+            &mut armed,
+            &mut outbox,
+            &peers,
+        );
+    }
+
+    loop {
+        // Pop expired/cancelled timer heads to find the next real deadline.
+        let next_deadline = loop {
+            match timers.peek() {
+                Some(entry) if !armed.contains(&entry.id.0) => {
+                    timers.pop();
+                }
+                Some(entry) => break Some(entry.at),
+                None => break None,
+            }
+        };
+        let sleep = match next_deadline {
+            Some(at) => {
+                let now = now_fn();
+                let delta = at.saturating_since(now);
+                tokio::time::sleep(StdDuration::from_nanos(delta.as_nanos()))
+            }
+            None => tokio::time::sleep(StdDuration::from_secs(3600)),
+        };
+        tokio::pin!(sleep);
+
+        tokio::select! {
+            _ = &mut shutdown => break,
+            msg = inbox_rx.recv() => {
+                let Some((from, msg)) = msg else { break };
+                let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
+                process.on_message(from, msg, &mut ctx);
+                let (effects, _) = ctx.into_effects();
+                apply_effects(id, effects, now_fn(), &mut timers, &mut armed, &mut outbox, &peers);
+            }
+            _ = &mut sleep, if next_deadline.is_some() => {
+                if let Some(entry) = timers.pop() {
+                    if armed.remove(&entry.id.0) {
+                        let timer = Timer { id: entry.id, token: entry.token };
+                        let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
+                        process.on_timer(timer, &mut ctx);
+                        let (effects, _) = ctx.into_effects();
+                        apply_effects(id, effects, now_fn(), &mut timers, &mut armed, &mut outbox, &peers);
+                    }
+                }
+            }
+        }
+    }
+
+    accept_task.abort();
+    process
+}
+
+async fn serve_connection<M>(
+    mut stream: TcpStream,
+    inbox: mpsc::Sender<(NodeId, M)>,
+) -> std::io::Result<()>
+where
+    M: Wire + Payload + Send,
+{
+    let Some(hello) = read_frame(&mut stream).await? else {
+        return Ok(());
+    };
+    let peer = NodeId::from_bytes(hello)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    while let Some(frame) = read_frame(&mut stream).await? {
+        match M::from_bytes(frame) {
+            Ok(msg) => {
+                if inbox.send((peer, msg)).await.is_err() {
+                    return Ok(()); // node shut down
+                }
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn apply_effects<M>(
+    self_id: NodeId,
+    effects: Vec<Effect<M>>,
+    now: Time,
+    timers: &mut BinaryHeap<TimerEntry>,
+    armed: &mut HashSet<u64>,
+    outbox: &mut HashMap<NodeId, mpsc::Sender<Bytes>>,
+    peers: &PeerMap,
+) where
+    M: Wire + Payload + Send,
+{
+    for effect in effects {
+        match effect {
+            Effect::Send { to, msg } => {
+                let sender = outbox
+                    .entry(to)
+                    .or_insert_with(|| spawn_writer(self_id, to, peers.get(to)));
+                // Non-blocking: a slow/unreachable peer sheds load instead of
+                // stalling the protocol loop (equivalent to network loss).
+                let _ = sender.try_send(msg.to_bytes());
+            }
+            Effect::SetTimer { id, after, token } => {
+                armed.insert(id.0);
+                timers.push(TimerEntry {
+                    at: now + after,
+                    id,
+                    token,
+                });
+            }
+            Effect::CancelTimer { id } => {
+                armed.remove(&id.0);
+            }
+        }
+    }
+}
+
+/// Spawns the writer task for one peer; returns the channel feeding it.
+fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> mpsc::Sender<Bytes> {
+    let (tx, mut rx) = mpsc::channel::<Bytes>(4096);
+    tokio::spawn(async move {
+        let Some(addr) = addr else {
+            eprintln!("canopus-net: no address for {to}; dropping its traffic");
+            while rx.recv().await.is_some() {}
+            return;
+        };
+        let mut backoff = StdDuration::from_millis(10);
+        'reconnect: loop {
+            let mut stream = loop {
+                match TcpStream::connect(addr).await {
+                    Ok(s) => break s,
+                    Err(_) => {
+                        tokio::time::sleep(backoff).await;
+                        backoff = (backoff * 2).min(StdDuration::from_secs(1));
+                        // Drain queued messages while unreachable (loss).
+                        while rx.try_recv().is_ok() {}
+                    }
+                }
+            };
+            backoff = StdDuration::from_millis(10);
+            let _ = stream.set_nodelay(true);
+            if write_frame(&mut stream, &self_id.to_bytes()).await.is_err() {
+                continue 'reconnect;
+            }
+            while let Some(frame) = rx.recv().await {
+                if write_frame(&mut stream, &frame).await.is_err() {
+                    continue 'reconnect;
+                }
+            }
+            return; // channel closed: node shut down
+        }
+    });
+    tx
+}
+
+/// Spawns a whole cluster on loopback TCP with ephemeral ports.
+///
+/// Returns one handle per process, in order. Intended for examples and
+/// integration tests; production deployments would use [`run_node`] with
+/// externally managed listeners and peer maps.
+pub async fn spawn_local_cluster<M>(
+    processes: Vec<Box<dyn Process<M>>>,
+    seed: u64,
+) -> Vec<TcpNodeHandle<M>>
+where
+    M: Wire + Payload + Send,
+{
+    let mut listeners = Vec::new();
+    let mut peers = PeerMap::new();
+    for (i, _) in processes.iter().enumerate() {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .await
+            .expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        peers.insert(NodeId(i as u32), addr);
+        listeners.push((listener, addr));
+    }
+    let mut handles = Vec::new();
+    for (i, (process, (listener, addr))) in processes.into_iter().zip(listeners).enumerate() {
+        let id = NodeId(i as u32);
+        let (tx, rx) = oneshot::channel();
+        let peer_map = peers.clone();
+        let join = tokio::spawn(run_node(
+            id,
+            process,
+            listener,
+            peer_map,
+            rx,
+            seed.wrapping_add(i as u64),
+        ));
+        handles.push(TcpNodeHandle {
+            id,
+            addr,
+            shutdown: Some(tx),
+            join,
+        });
+    }
+    handles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus_sim::impl_process_any;
+    use bytes::BytesMut;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Num(u64);
+
+    impl Payload for Num {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    impl Wire for Num {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.0.encode(buf);
+        }
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            Ok(Num(u64::decode(buf)?))
+        }
+    }
+
+    /// Sends 1..=count to the peer on start; records what it receives.
+    struct Counter {
+        peer: Option<NodeId>,
+        count: u64,
+        seen: Vec<u64>,
+    }
+
+    impl Process<Num> for Counter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+            if let Some(peer) = self.peer {
+                for i in 1..=self.count {
+                    ctx.send(peer, Num(i));
+                }
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Num, _ctx: &mut Context<'_, Num>) {
+            self.seen.push(msg.0);
+        }
+        impl_process_any!();
+    }
+
+    #[tokio::test]
+    async fn frames_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut stream, _) = listener.accept().await.unwrap();
+            read_frame(&mut stream).await.unwrap().unwrap()
+        });
+        let mut client = TcpStream::connect(addr).await.unwrap();
+        write_frame(&mut client, b"hello").await.unwrap();
+        let got = server.await.unwrap();
+        assert_eq!(&got[..], b"hello");
+    }
+
+    #[tokio::test]
+    async fn read_frame_reports_clean_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut stream, _) = listener.accept().await.unwrap();
+            read_frame(&mut stream).await.unwrap()
+        });
+        let client = TcpStream::connect(addr).await.unwrap();
+        drop(client);
+        assert!(server.await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut stream, _) = listener.accept().await.unwrap();
+            read_frame(&mut stream).await
+        });
+        let mut client = TcpStream::connect(addr).await.unwrap();
+        client
+            .write_all(&(u32::MAX).to_le_bytes())
+            .await
+            .unwrap();
+        assert!(server.await.unwrap().is_err());
+    }
+
+    #[tokio::test]
+    async fn cluster_delivers_messages_in_order() {
+        let a = Counter {
+            peer: Some(NodeId(1)),
+            count: 100,
+            seen: Vec::new(),
+        };
+        let b = Counter {
+            peer: None,
+            count: 0,
+            seen: Vec::new(),
+        };
+        let handles = spawn_local_cluster::<Num>(vec![Box::new(a), Box::new(b)], 7).await;
+        // Give delivery a moment.
+        tokio::time::sleep(StdDuration::from_millis(300)).await;
+        let mut processes = Vec::new();
+        for h in handles {
+            processes.push(h.stop().await);
+        }
+        let b_final = processes.pop().unwrap();
+        let counter = b_final
+            .as_any()
+            .downcast_ref::<Counter>()
+            .expect("counter");
+        assert_eq!(counter.seen, (1..=100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,242 @@
+//! Pluggable network fabrics.
+//!
+//! The simulation kernel asks its [`Fabric`] what happens to each message:
+//! when it arrives, or that it is lost. `canopus-net` supplies the
+//! topology-aware Clos/WAN fabric used by the experiments; this module
+//! provides simple fabrics for unit tests plus loss/partition decorators
+//! that compose over any inner fabric.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::process::{NodeId, Payload};
+use crate::time::{Dur, Time};
+
+/// The fate of one message.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver at the given absolute time (must be ≥ the send time).
+    Deliver(Time),
+    /// Silently drop the message.
+    Drop,
+}
+
+/// Decides delivery times for messages.
+///
+/// The fabric owns all link state (bandwidth occupancy, queues) and may
+/// mutate it per message, which is how serialization delay and queueing
+/// emerge in the topology-aware implementation.
+pub trait Fabric<M: Payload> {
+    /// Routes one message sent at `now` from `from` to `to`.
+    fn route(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &M,
+        now: Time,
+        rng: &mut SmallRng,
+    ) -> Route;
+}
+
+/// Uniform-latency fabric: every message arrives exactly `latency` later.
+/// Useful for protocol unit tests where topology is irrelevant.
+#[derive(Debug, Clone)]
+pub struct UniformFabric {
+    latency: Dur,
+}
+
+impl UniformFabric {
+    /// Creates a fabric with a fixed one-way `latency`.
+    pub fn new(latency: Dur) -> Self {
+        UniformFabric { latency }
+    }
+}
+
+impl<M: Payload> Fabric<M> for UniformFabric {
+    fn route(&mut self, _: NodeId, _: NodeId, _: &M, now: Time, _: &mut SmallRng) -> Route {
+        Route::Deliver(now + self.latency)
+    }
+}
+
+/// Decorator that drops each message with probability `loss`, and otherwise
+/// defers to the inner fabric.
+pub struct LossyFabric<F> {
+    inner: F,
+    loss: f64,
+}
+
+impl<F> LossyFabric<F> {
+    /// Wraps `inner`, dropping messages with probability `loss` ∈ [0, 1].
+    pub fn new(inner: F, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        LossyFabric { inner, loss }
+    }
+}
+
+impl<M: Payload, F: Fabric<M>> Fabric<M> for LossyFabric<F> {
+    fn route(&mut self, from: NodeId, to: NodeId, msg: &M, now: Time, rng: &mut SmallRng) -> Route {
+        if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
+            return Route::Drop;
+        }
+        self.inner.route(from, to, msg, now, rng)
+    }
+}
+
+/// Decorator that drops messages crossing an administratively installed
+/// partition. Used by failure-injection tests (§3.4 of the paper: Canopus
+/// must stall, not diverge, under partition).
+pub struct PartitionableFabric<F> {
+    inner: F,
+    /// Pairs (a, b) with a < b such that traffic between a and b is cut.
+    cut: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl<F> PartitionableFabric<F> {
+    /// Wraps `inner` with no partitions installed.
+    pub fn new(inner: F) -> Self {
+        PartitionableFabric {
+            inner,
+            cut: BTreeSet::new(),
+        }
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Cuts bidirectional connectivity between `a` and `b`.
+    pub fn cut_pair(&mut self, a: NodeId, b: NodeId) {
+        self.cut.insert(Self::key(a, b));
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn heal_pair(&mut self, a: NodeId, b: NodeId) {
+        self.cut.remove(&Self::key(a, b));
+    }
+
+    /// Cuts every pair with one endpoint in `side_a` and the other in `side_b`.
+    pub fn cut_groups(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.cut_pair(a, b);
+            }
+        }
+    }
+
+    /// Removes all installed partitions.
+    pub fn heal_all(&mut self) {
+        self.cut.clear();
+    }
+
+    /// Access to the wrapped fabric.
+    pub fn inner_mut(&mut self) -> &mut F {
+        &mut self.inner
+    }
+}
+
+impl<M: Payload, F: Fabric<M>> Fabric<M> for PartitionableFabric<F> {
+    fn route(&mut self, from: NodeId, to: NodeId, msg: &M, now: Time, rng: &mut SmallRng) -> Route {
+        if self.cut.contains(&Self::key(from, to)) {
+            return Route::Drop;
+        }
+        self.inner.route(from, to, msg, now, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    impl Payload for u32 {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    #[test]
+    fn uniform_fabric_adds_latency() {
+        let mut f = UniformFabric::new(Dur::micros(50));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = Time::ZERO + Dur::millis(1);
+        assert_eq!(
+            Fabric::<u32>::route(&mut f, NodeId(0), NodeId(1), &7, t, &mut rng),
+            Route::Deliver(t + Dur::micros(50))
+        );
+    }
+
+    #[test]
+    fn lossy_fabric_drops_roughly_at_rate() {
+        let mut f = LossyFabric::new(UniformFabric::new(Dur::ZERO), 0.25);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            if Fabric::<u32>::route(&mut f, NodeId(0), NodeId(1), &7, Time::ZERO, &mut rng)
+                == Route::Drop
+            {
+                dropped += 1;
+            }
+        }
+        assert!((2000..3000).contains(&dropped), "dropped {dropped}/10000");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut f = LossyFabric::new(UniformFabric::new(Dur::ZERO), 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_ne!(
+                Fabric::<u32>::route(&mut f, NodeId(0), NodeId(1), &7, Time::ZERO, &mut rng),
+                Route::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_and_heals() {
+        let mut f = PartitionableFabric::new(UniformFabric::new(Dur::ZERO));
+        let mut rng = SmallRng::seed_from_u64(0);
+        f.cut_pair(NodeId(1), NodeId(2));
+        assert_eq!(
+            Fabric::<u32>::route(&mut f, NodeId(1), NodeId(2), &7, Time::ZERO, &mut rng),
+            Route::Drop
+        );
+        assert_eq!(
+            Fabric::<u32>::route(&mut f, NodeId(2), NodeId(1), &7, Time::ZERO, &mut rng),
+            Route::Drop
+        );
+        // Unrelated pair unaffected.
+        assert_ne!(
+            Fabric::<u32>::route(&mut f, NodeId(0), NodeId(2), &7, Time::ZERO, &mut rng),
+            Route::Drop
+        );
+        f.heal_all();
+        assert_ne!(
+            Fabric::<u32>::route(&mut f, NodeId(1), NodeId(2), &7, Time::ZERO, &mut rng),
+            Route::Drop
+        );
+    }
+
+    #[test]
+    fn cut_groups_cuts_cross_product() {
+        let mut f = PartitionableFabric::new(UniformFabric::new(Dur::ZERO));
+        let mut rng = SmallRng::seed_from_u64(0);
+        f.cut_groups(&[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        for a in [0u32, 1] {
+            assert_eq!(
+                Fabric::<u32>::route(&mut f, NodeId(a), NodeId(2), &7, Time::ZERO, &mut rng),
+                Route::Drop
+            );
+        }
+        assert_ne!(
+            Fabric::<u32>::route(&mut f, NodeId(0), NodeId(1), &7, Time::ZERO, &mut rng),
+            Route::Drop
+        );
+    }
+}

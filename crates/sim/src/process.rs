@@ -1,0 +1,279 @@
+//! The sans-IO process abstraction.
+//!
+//! Every protocol participant — Canopus pnodes, Raft peers, EPaxos replicas,
+//! Zab leaders/followers, and workload clients — is a [`Process`]: a state
+//! machine that reacts to message deliveries and timer firings through a
+//! [`Context`]. Processes never perform IO themselves; they only record
+//! intents (sends, timers, CPU charges) that the driving runtime executes.
+//! The same process code therefore runs unchanged on the deterministic
+//! simulator and on the tokio TCP driver in `canopus-net`.
+
+use std::any::Any;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::time::{Dur, Time};
+
+/// Identifier of a process within one simulation or deployment.
+///
+/// Ids are dense indices assigned in creation order, which lets topologies
+/// and routing tables use plain vectors.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`, for vector addressing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Handle for a pending timer, used for cancellation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// A timer delivery. `token` is the protocol-chosen discriminator passed to
+/// [`Context::set_timer`]; `id` identifies this particular arming.
+#[derive(Copy, Clone, Debug)]
+pub struct Timer {
+    /// Unique id of this arming (matches the [`TimerId`] returned by `set_timer`).
+    pub id: TimerId,
+    /// Protocol-defined discriminator (e.g. "election timeout", "cycle tick").
+    pub token: u64,
+}
+
+/// Payloads that can traverse the simulated or real network.
+///
+/// `wire_size` must return the number of bytes the message would occupy on
+/// the wire; the network fabric uses it for serialization-delay and
+/// bandwidth-queueing computations, so it should track the real encoded size
+/// reasonably closely.
+pub trait Payload: fmt::Debug + 'static {
+    /// Encoded size of this message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// One effect recorded by a process during a callback.
+///
+/// Effects are consumed by whichever runtime drives the process: the
+/// simulator kernel, or an external driver (e.g. the tokio TCP transport in
+/// `canopus-net`) via [`Context::detached`] / [`Context::into_effects`].
+#[derive(Debug)]
+pub enum Effect<M> {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// Arm a one-shot timer.
+    SetTimer {
+        /// Timer handle (for cancellation).
+        id: TimerId,
+        /// Delay from the callback's `now`.
+        after: Dur,
+        /// Protocol-defined discriminator.
+        token: u64,
+    },
+    /// Cancel a previously armed timer.
+    CancelTimer {
+        /// The handle returned by `set_timer`.
+        id: TimerId,
+    },
+}
+
+/// The interface a process uses to interact with the world.
+///
+/// All methods record intents; the runtime applies them after the callback
+/// returns. This keeps callbacks pure with respect to the event queue and
+/// makes executions reproducible.
+pub struct Context<'a, M> {
+    pub(crate) now: Time,
+    pub(crate) self_id: NodeId,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) effects: Vec<Effect<M>>,
+    pub(crate) charged: Dur,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Builds a context for an external (non-simulator) driver such as the
+    /// tokio TCP transport. `next_timer_id` must be a counter owned by the
+    /// driver so timer ids stay unique per node lifetime.
+    pub fn detached(
+        now: Time,
+        self_id: NodeId,
+        rng: &'a mut SmallRng,
+        next_timer_id: &'a mut u64,
+    ) -> Self {
+        Context {
+            now,
+            self_id,
+            rng,
+            effects: Vec::new(),
+            charged: Dur::ZERO,
+            next_timer_id,
+        }
+    }
+
+    /// Consumes the context, yielding the recorded effects and the total
+    /// CPU charge. Only external drivers need this; the simulator kernel
+    /// drains contexts internally.
+    pub fn into_effects(self) -> (Vec<Effect<M>>, Dur) {
+        (self.effects, self.charged)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the process being called.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Deterministic per-simulation random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Delivery time (or loss) is decided by the fabric.
+    /// Sending to self is allowed and goes through the fabric like any other
+    /// message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Arms a one-shot timer `after` from now carrying `token`.
+    pub fn set_timer(&mut self, after: Dur, token: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.push(Effect::SetTimer { id, after, token });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Charges `cost` of CPU time to this node, modelling processing work
+    /// (request marshaling, log persistence, state-machine application).
+    /// While a node is busy, subsequent message deliveries queue behind the
+    /// charge, which is how CPU saturation manifests in experiments.
+    pub fn charge(&mut self, cost: Dur) {
+        self.charged += cost;
+    }
+}
+
+/// A deterministic, event-driven protocol participant.
+///
+/// Implementations must be deterministic given the callback sequence and the
+/// RNG: no wall-clock reads, no iteration over hash maps where the order
+/// escapes into messages (use `BTreeMap`/vectors for anything
+/// order-sensitive).
+pub trait Process<M>: Any + Send {
+    /// Called once when the node starts (or restarts after a crash).
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called for every delivered message.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when an armed timer fires.
+    fn on_timer(&mut self, _timer: Timer, _ctx: &mut Context<'_, M>) {}
+
+    /// Upcasts for harness-side state inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcasts for harness-side state mutation.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements the [`Process::as_any`]/[`Process::as_any_mut`] boilerplate.
+#[macro_export]
+macro_rules! impl_process_any {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_records_effects_in_order() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, u32> = Context {
+            now: Time::ZERO,
+            self_id: NodeId(3),
+            rng: &mut rng,
+            effects: Vec::new(),
+            charged: Dur::ZERO,
+            next_timer_id: &mut next_timer,
+        };
+        ctx.send(NodeId(1), 42);
+        let t = ctx.set_timer(Dur::millis(5), 7);
+        ctx.cancel_timer(t);
+        ctx.charge(Dur::micros(2));
+        ctx.charge(Dur::micros(3));
+
+        assert_eq!(ctx.charged, Dur::micros(5));
+        assert_eq!(ctx.effects.len(), 3);
+        match &ctx.effects[0] {
+            Effect::Send { to, msg } => {
+                assert_eq!(*to, NodeId(1));
+                assert_eq!(*msg, 42);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        match &ctx.effects[1] {
+            Effect::SetTimer { id, after, token } => {
+                assert_eq!(*id, t);
+                assert_eq!(*after, Dur::millis(5));
+                assert_eq!(*token, 7);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, u32> = Context {
+            now: Time::ZERO,
+            self_id: NodeId(0),
+            rng: &mut rng,
+            effects: Vec::new(),
+            charged: Dur::ZERO,
+            next_timer_id: &mut next_timer,
+        };
+        let a = ctx.set_timer(Dur::millis(1), 0);
+        let b = ctx.set_timer(Dur::millis(1), 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,750 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Simulation`] owns a set of [`Process`] nodes, a [`Fabric`] that decides
+//! message delivery times, one seeded RNG, and a single event queue ordered
+//! by `(time, sequence)`. The sequence tiebreak makes executions totally
+//! deterministic: the same seed and the same setup replay byte-identical
+//! histories (asserted by tests in `canopus-harness`).
+//!
+//! # CPU model
+//!
+//! Each node has a `busy_until` watermark. Handling a message costs the
+//! node's configured `base_msg_cost` plus whatever the handler explicitly
+//! [`Context::charge`]s. Deliveries to a busy node queue in FIFO order and
+//! are handled when the node frees up — so an overloaded node exhibits
+//! growing queues and rising completion times, which is exactly the signal
+//! the paper's throughput-search methodology (§8.1) keys on. Timers fire at
+//! their scheduled instant regardless of queue depth (they model OS timers,
+//! not work items), but their charges still extend `busy_until`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::fabric::{Fabric, Route};
+use crate::process::{Context, Effect, NodeId, Payload, Process, Timer, TimerId};
+use crate::time::{Dur, Time};
+
+/// Sender id used for messages injected from outside the simulation
+/// (test drivers, harness probes).
+pub const EXTERNAL: NodeId = NodeId(u32::MAX);
+
+/// Per-node execution parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct NodeConfig {
+    /// CPU time charged for every handled message, before explicit charges.
+    pub base_msg_cost: Dur,
+    /// CPU time charged per message sent (syscall + serialization). This is
+    /// what makes large fan-outs — a Zab leader informing observers, an
+    /// EPaxos replica broadcasting commits — cost real processor time.
+    pub per_send_cost: Dur,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        // Rough costs of receiving/sending one message on the paper's
+        // Xeon E5-2620 class hardware.
+        NodeConfig {
+            base_msg_cost: Dur::micros(1),
+            per_send_cost: Dur::nanos(500),
+        }
+    }
+}
+
+/// Counters maintained by the kernel for every simulation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the fabric.
+    pub msgs_sent: u64,
+    /// Messages delivered to a live process.
+    pub msgs_delivered: u64,
+    /// Messages dropped by the fabric, a partition, or a dead destination.
+    pub msgs_dropped: u64,
+    /// Total bytes handed to the fabric.
+    pub bytes_sent: u64,
+}
+
+/// A trace record, emitted to the optional tracer hook.
+#[derive(Debug)]
+pub enum TraceEvent<'a, M> {
+    /// A message left `from` towards `to`; `deliver_at` is `None` if dropped.
+    Send {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Send time.
+        at: Time,
+        /// Scheduled delivery time, or `None` if the fabric dropped it.
+        deliver_at: Option<Time>,
+        /// The message.
+        msg: &'a M,
+    },
+    /// A message is about to be handled by `to`.
+    Deliver {
+        /// Original sender.
+        from: NodeId,
+        /// Destination now handling the message.
+        to: NodeId,
+        /// Handling time.
+        at: Time,
+        /// The message.
+        msg: &'a M,
+    },
+}
+
+/// Tracer callback type.
+pub type Tracer<M> = Box<dyn FnMut(&TraceEvent<'_, M>)>;
+
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, token: u64, epoch: u32 },
+    Drain { node: NodeId },
+}
+
+struct EventEntry<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for EventEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for EventEntry<M> {}
+impl<M> PartialOrd for EventEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for EventEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot<M> {
+    process: Option<Box<dyn Process<M>>>,
+    alive: bool,
+    epoch: u32,
+    busy_until: Time,
+    pending: VecDeque<(NodeId, M)>,
+    drain_scheduled: bool,
+    cfg: NodeConfig,
+}
+
+/// The deterministic discrete-event simulator.
+pub struct Simulation<M: Payload, F: Fabric<M>> {
+    time: Time,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventEntry<M>>>,
+    nodes: Vec<NodeSlot<M>>,
+    fabric: F,
+    rng: SmallRng,
+    next_timer_id: u64,
+    armed_timers: HashSet<u64>,
+    stats: NetStats,
+    events_processed: u64,
+    tracer: Option<Tracer<M>>,
+}
+
+impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
+    /// Creates an empty simulation over `fabric`, seeded with `seed`.
+    pub fn new(fabric: F, seed: u64) -> Self {
+        Simulation {
+            time: Time::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes: Vec::new(),
+            fabric,
+            rng: SmallRng::seed_from_u64(seed),
+            next_timer_id: 0,
+            armed_timers: HashSet::new(),
+            stats: NetStats::default(),
+            events_processed: 0,
+            tracer: None,
+        }
+    }
+
+    /// Installs a tracer receiving every send/deliver record.
+    pub fn set_tracer(&mut self, tracer: Tracer<M>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Adds a node with default [`NodeConfig`]; `on_start` runs immediately.
+    pub fn add_node(&mut self, process: Box<dyn Process<M>>) -> NodeId {
+        self.add_node_with(process, NodeConfig::default())
+    }
+
+    /// Adds a node with an explicit config; `on_start` runs immediately.
+    pub fn add_node_with(&mut self, process: Box<dyn Process<M>>, cfg: NodeConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            process: Some(process),
+            alive: true,
+            epoch: 0,
+            busy_until: self.time,
+            pending: VecDeque::new(),
+            drain_scheduled: false,
+            cfg,
+        });
+        self.run_callback(id, CallbackKind::Start, self.time);
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Network counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of nodes ever added (crashed nodes included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].alive
+    }
+
+    /// Mutable access to the fabric, e.g. to install partitions mid-run.
+    pub fn fabric_mut(&mut self) -> &mut F {
+        &mut self.fabric
+    }
+
+    /// Immutable access to the fabric.
+    pub fn fabric(&self) -> &F {
+        &self.fabric
+    }
+
+    /// Borrows a node's process state, downcast to `P`.
+    ///
+    /// # Panics
+    /// Panics if the node crashed or the type does not match.
+    pub fn node<P: 'static>(&self, id: NodeId) -> &P {
+        self.nodes[id.index()]
+            .process
+            .as_ref()
+            .unwrap_or_else(|| panic!("{id} has crashed"))
+            .as_any()
+            .downcast_ref::<P>()
+            .unwrap_or_else(|| panic!("{id} is not a {}", std::any::type_name::<P>()))
+    }
+
+    /// Mutably borrows a node's process state, downcast to `P`.
+    ///
+    /// # Panics
+    /// Panics if the node crashed or the type does not match.
+    pub fn node_mut<P: 'static>(&mut self, id: NodeId) -> &mut P {
+        self.nodes[id.index()]
+            .process
+            .as_mut()
+            .unwrap_or_else(|| panic!("node has crashed"))
+            .as_any_mut()
+            .downcast_mut::<P>()
+            .unwrap_or_else(|| panic!("node is not a {}", std::any::type_name::<P>()))
+    }
+
+    /// Crash-stops a node: queued and in-flight messages to it are dropped,
+    /// and its armed timers will never fire.
+    pub fn crash(&mut self, id: NodeId) {
+        let slot = &mut self.nodes[id.index()];
+        slot.alive = false;
+        slot.epoch += 1;
+        slot.pending.clear();
+    }
+
+    /// Restarts a crashed node with a fresh process (the rejoin protocol is
+    /// the process's responsibility); `on_start` runs immediately.
+    pub fn restart(&mut self, id: NodeId, process: Box<dyn Process<M>>) {
+        let slot = &mut self.nodes[id.index()];
+        assert!(!slot.alive, "restart of a live node");
+        slot.process = Some(process);
+        slot.alive = true;
+        slot.busy_until = self.time;
+        slot.drain_scheduled = false;
+        self.run_callback(id, CallbackKind::Start, self.time);
+    }
+
+    /// Injects a message from [`EXTERNAL`] directly to `to` after `delay`,
+    /// bypassing the fabric. Intended for tests and harness probes.
+    pub fn inject(&mut self, to: NodeId, msg: M, delay: Dur) {
+        let at = self.time + delay;
+        self.push_event(
+            at,
+            EventKind::Deliver {
+                to,
+                from: EXTERNAL,
+                msg,
+            },
+        );
+    }
+
+    /// Runs until the event queue is exhausted or `deadline` is reached;
+    /// afterwards `now() == deadline` unless the queue emptied first.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(Reverse(entry)) = self.events.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            let Reverse(entry) = self.events.pop().expect("peeked");
+            debug_assert!(entry.at >= self.time, "event queue went backwards");
+            self.time = entry.at;
+            self.dispatch(entry);
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: Dur) {
+        let deadline = self.time + d;
+        self.run_until(deadline);
+    }
+
+    /// Dispatches a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.events.pop() {
+            Some(Reverse(entry)) => {
+                self.time = entry.at;
+                self.dispatch(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn push_event(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry { at, seq, kind }));
+    }
+
+    fn dispatch(&mut self, entry: EventEntry<M>) {
+        self.events_processed += 1;
+        let at = entry.at;
+        match entry.kind {
+            EventKind::Deliver { to, from, msg } => {
+                let slot = &mut self.nodes[to.index()];
+                if !slot.alive {
+                    self.stats.msgs_dropped += 1;
+                    return;
+                }
+                slot.pending.push_back((from, msg));
+                self.try_drain(to, at);
+            }
+            EventKind::Timer {
+                node,
+                id,
+                token,
+                epoch,
+            } => {
+                if !self.armed_timers.remove(&id.0) {
+                    return; // cancelled
+                }
+                let slot = &self.nodes[node.index()];
+                if !slot.alive || slot.epoch != epoch {
+                    return; // armed before a crash
+                }
+                self.run_callback(node, CallbackKind::Timer(Timer { id, token }), at);
+            }
+            EventKind::Drain { node } => {
+                self.nodes[node.index()].drain_scheduled = false;
+                self.try_drain(node, at);
+            }
+        }
+    }
+
+    /// Handles as many queued messages as the node's CPU allows at `now`,
+    /// scheduling a future drain if work remains.
+    fn try_drain(&mut self, node: NodeId, now: Time) {
+        loop {
+            let slot = &mut self.nodes[node.index()];
+            if !slot.alive {
+                slot.pending.clear();
+                return;
+            }
+            if slot.pending.is_empty() {
+                return;
+            }
+            if slot.busy_until > now {
+                if !slot.drain_scheduled {
+                    slot.drain_scheduled = true;
+                    let at = slot.busy_until;
+                    self.push_event(at, EventKind::Drain { node });
+                }
+                return;
+            }
+            let (from, msg) = slot.pending.pop_front().expect("checked non-empty");
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer(&TraceEvent::Deliver {
+                    from,
+                    to: node,
+                    at: now,
+                    msg: &msg,
+                });
+            }
+            self.stats.msgs_delivered += 1;
+            self.run_callback(node, CallbackKind::Message(from, msg), now);
+        }
+    }
+
+    fn run_callback(&mut self, node: NodeId, kind: CallbackKind<M>, now: Time) {
+        let mut process = match self.nodes[node.index()].process.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let mut ctx = Context {
+            now,
+            self_id: node,
+            rng: &mut self.rng,
+            effects: Vec::new(),
+            charged: Dur::ZERO,
+            next_timer_id: &mut self.next_timer_id,
+        };
+        match kind {
+            CallbackKind::Start => process.on_start(&mut ctx),
+            CallbackKind::Message(from, msg) => process.on_message(from, msg, &mut ctx),
+            CallbackKind::Timer(timer) => process.on_timer(timer, &mut ctx),
+        }
+        let effects = std::mem::take(&mut ctx.effects);
+        let charged = ctx.charged;
+        let slot = &mut self.nodes[node.index()];
+        slot.process = Some(process);
+        let sends = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { .. }))
+            .count() as u64;
+        let start = if slot.busy_until > now {
+            slot.busy_until
+        } else {
+            now
+        };
+        slot.busy_until =
+            start + slot.cfg.base_msg_cost + charged + slot.cfg.per_send_cost * sends;
+        let epoch = slot.epoch;
+
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.route_send(node, to, msg, now),
+                Effect::SetTimer { id, after, token } => {
+                    self.armed_timers.insert(id.0);
+                    self.push_event(
+                        now + after,
+                        EventKind::Timer {
+                            node,
+                            id,
+                            token,
+                            epoch,
+                        },
+                    );
+                }
+                Effect::CancelTimer { id } => {
+                    self.armed_timers.remove(&id.0);
+                }
+            }
+        }
+    }
+
+    fn route_send(&mut self, from: NodeId, to: NodeId, msg: M, now: Time) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += msg.wire_size() as u64;
+        if to == EXTERNAL {
+            // Replies to externally injected messages sink silently.
+            return;
+        }
+        let route = self.fabric.route(from, to, &msg, now, &mut self.rng);
+        if let Some(tracer) = self.tracer.as_mut() {
+            let deliver_at = match route {
+                Route::Deliver(t) => Some(t),
+                Route::Drop => None,
+            };
+            tracer(&TraceEvent::Send {
+                from,
+                to,
+                at: now,
+                deliver_at,
+                msg: &msg,
+            });
+        }
+        match route {
+            Route::Deliver(at) => {
+                debug_assert!(at >= now, "fabric delivered into the past");
+                let at = at.max(now);
+                self.push_event(at, EventKind::Deliver { to, from, msg });
+            }
+            Route::Drop => {
+                self.stats.msgs_dropped += 1;
+            }
+        }
+    }
+}
+
+enum CallbackKind<M> {
+    Start,
+    Message(NodeId, M),
+    Timer(Timer),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::UniformFabric;
+    use crate::impl_process_any;
+    use rand::Rng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Payload for Msg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Echoes pings back; counts pongs.
+    struct Echo {
+        peer: Option<NodeId>,
+        pongs: Vec<(Time, u32)>,
+        pings_handled: u32,
+    }
+
+    impl Echo {
+        fn new(peer: Option<NodeId>) -> Self {
+            Echo {
+                peer,
+                pongs: Vec::new(),
+                pings_handled: 0,
+            }
+        }
+    }
+
+    impl Process<Msg> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, Msg::Ping(0));
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping(n) => {
+                    self.pings_handled += 1;
+                    ctx.send(from, Msg::Pong(n));
+                }
+                Msg::Pong(n) => {
+                    self.pongs.push((ctx.now(), n));
+                    if n < 4 {
+                        ctx.send(from, Msg::Ping(n + 1));
+                    }
+                }
+            }
+        }
+
+        impl_process_any!();
+    }
+
+    fn two_node_sim() -> (Simulation<Msg, UniformFabric>, NodeId, NodeId) {
+        let mut sim = Simulation::new(UniformFabric::new(Dur::micros(100)), 7);
+        let a = sim.add_node(Box::new(Echo::new(None)));
+        // Process cost defaults to 1us; ping-pong round trip = 2 * 100us + costs.
+        let b = sim.add_node(Box::new(Echo::new(Some(a))));
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let echo_b = sim.node::<Echo>(b);
+        assert_eq!(echo_b.pongs.len(), 5);
+        // First pong arrives after one RTT plus two handling costs.
+        let (t0, n0) = echo_b.pongs[0];
+        assert_eq!(n0, 0);
+        assert!(t0 >= Time::ZERO + Dur::micros(200), "rtt respected: {t0}");
+        let echo_a = sim.node::<Echo>(a);
+        assert_eq!(echo_a.pings_handled, 5);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = || {
+            let (mut sim, _, b) = two_node_sim();
+            sim.run_until(Time::ZERO + Dur::millis(10));
+            (
+                sim.node::<Echo>(b).pongs.clone(),
+                sim.events_processed(),
+                sim.stats(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_drops_messages_and_timers() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.run_until(Time::ZERO + Dur::micros(150));
+        sim.crash(a);
+        let before = sim.node::<Echo>(b).pongs.len();
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        // At most the single in-flight pong may still land; after that the
+        // exchange stalls because pings to the crashed node are dropped.
+        assert!(sim.node::<Echo>(b).pongs.len() <= before + 1);
+        assert!(sim.node::<Echo>(b).pongs.len() < 5);
+        assert!(sim.stats().msgs_dropped > 0);
+        assert!(!sim.is_alive(a));
+    }
+
+    #[test]
+    fn restart_resumes_with_fresh_state() {
+        let (mut sim, a, _b) = two_node_sim();
+        sim.run_until(Time::ZERO + Dur::millis(1));
+        sim.crash(a);
+        sim.run_until(Time::ZERO + Dur::millis(2));
+        sim.restart(a, Box::new(Echo::new(None)));
+        assert!(sim.is_alive(a));
+        assert_eq!(sim.node::<Echo>(a).pings_handled, 0);
+    }
+
+    #[test]
+    fn inject_delivers_external_messages() {
+        let mut sim: Simulation<Msg, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::micros(10)), 1);
+        let a = sim.add_node(Box::new(Echo::new(None)));
+        sim.inject(a, Msg::Ping(9), Dur::millis(1));
+        sim.run_until(Time::ZERO + Dur::millis(5));
+        assert_eq!(sim.node::<Echo>(a).pings_handled, 1);
+    }
+
+    /// A process that charges heavy CPU per message.
+    struct Slow {
+        handled: Vec<Time>,
+    }
+
+    impl Process<Msg> for Slow {
+        fn on_message(&mut self, _from: NodeId, _msg: Msg, ctx: &mut Context<'_, Msg>) {
+            self.handled.push(ctx.now());
+            ctx.charge(Dur::millis(1));
+        }
+        impl_process_any!();
+    }
+
+    #[test]
+    fn cpu_charge_queues_subsequent_messages() {
+        let mut sim: Simulation<Msg, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        let a = sim.add_node(Box::new(Slow {
+            handled: Vec::new(),
+        }));
+        for i in 0..3 {
+            sim.inject(a, Msg::Ping(i), Dur::ZERO);
+        }
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let handled = &sim.node::<Slow>(a).handled;
+        assert_eq!(handled.len(), 3);
+        // Each message handled ~1ms (charge) + 1us (base) after the previous.
+        assert!(handled[1] - handled[0] >= Dur::millis(1));
+        assert!(handled[2] - handled[1] >= Dur::millis(1));
+    }
+
+    struct TimerUser {
+        fired: Vec<(Time, u64)>,
+        cancel_second: bool,
+    }
+
+    impl Process<Msg> for TimerUser {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(Dur::millis(1), 1);
+            let t2 = ctx.set_timer(Dur::millis(2), 2);
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+            ctx.set_timer(Dur::millis(3), 3);
+        }
+        fn on_message(&mut self, _: NodeId, _: Msg, _: &mut Context<'_, Msg>) {}
+        fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, Msg>) {
+            self.fired.push((ctx.now(), timer.token));
+        }
+        impl_process_any!();
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim: Simulation<Msg, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        let a = sim.add_node(Box::new(TimerUser {
+            fired: Vec::new(),
+            cancel_second: true,
+        }));
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let fired = &sim.node::<TimerUser>(a).fired;
+        let tokens: Vec<u64> = fired.iter().map(|(_, t)| *t).collect();
+        assert_eq!(tokens, vec![1, 3]);
+        assert_eq!(fired[0].0, Time::ZERO + Dur::millis(1));
+        assert_eq!(fired[1].0, Time::ZERO + Dur::millis(3));
+    }
+
+    #[test]
+    fn timers_do_not_survive_crash() {
+        let mut sim: Simulation<Msg, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        let a = sim.add_node(Box::new(TimerUser {
+            fired: Vec::new(),
+            cancel_second: false,
+        }));
+        sim.run_until(Time::ZERO + Dur::micros(1500));
+        sim.crash(a);
+        sim.restart(
+            a,
+            Box::new(TimerUser {
+                fired: Vec::new(),
+                cancel_second: false,
+            }),
+        );
+        sim.run_until(Time::ZERO + Dur::millis(30));
+        let fired = &sim.node::<TimerUser>(a).fired;
+        // Only the fresh process's timers fire; the pre-crash t=2ms and t=3ms
+        // arming must not leak into the new epoch.
+        let tokens: Vec<u64> = fired.iter().map(|(_, t)| *t).collect();
+        assert_eq!(tokens, vec![1, 2, 3]);
+        assert!(fired[0].0 >= Time::ZERO + Dur::micros(1500));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Simulation<Msg, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        sim.run_until(Time::ZERO + Dur::secs(5));
+        assert_eq!(sim.now(), Time::ZERO + Dur::secs(5));
+    }
+
+    #[test]
+    fn rng_is_deterministic_across_runs() {
+        let draw = || {
+            let mut sim: Simulation<Msg, UniformFabric> =
+                Simulation::new(UniformFabric::new(Dur::ZERO), 99);
+            let _ = sim.add_node(Box::new(Echo::new(None)));
+            // Reach into the rng through a context-less path: run and sample.
+            sim.rng.gen::<u64>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

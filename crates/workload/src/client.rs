@@ -1,0 +1,433 @@
+//! Client processes reproducing the paper's workload model (§8.1/§8.2).
+//!
+//! * [`OpenLoopClient`] — Poisson arrivals at a fixed offered rate,
+//!   independent of response times (the paper's load-generation model:
+//!   "clients send requests to nodes according to a Poisson process at a
+//!   given inter-arrival rate"). One process stands for all clients
+//!   attached to one protocol node; arrivals within each 1 ms tick are
+//!   aggregated into synthetic batches so multi-million-request-per-second
+//!   sweeps stay tractable (see `canopus-kv`'s synthetic ops).
+//! * [`ClosedLoopClient`] — one-outstanding-request clients issuing real
+//!   `Put`/`Get` operations; used for precise latency curves and for the
+//!   lease optimization, which requires blocking clients (§7.2).
+//!
+//! Both are generic over the protocol via [`ProtocolMsg`].
+
+use bytes::Bytes;
+use canopus::CanopusMsg;
+use canopus_epaxos::EpaxosMsg;
+use canopus_kv::{ClientReply, ClientRequest, Op};
+use canopus_sim::{impl_process_any, Context, Dur, NodeId, Payload, Process, Time, Timer};
+use canopus_zab::ZabMsg;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+use crate::dist::{poisson, KeyDist};
+use crate::latency::LatencyRecorder;
+
+/// Bridges the shared client API into each protocol's message enum.
+pub trait ProtocolMsg: Payload + Sized {
+    /// Wraps a client request.
+    fn request(req: ClientRequest) -> Self;
+    /// Unwraps a reply, if this message is one.
+    fn reply(&self) -> Option<&ClientReply>;
+}
+
+impl ProtocolMsg for CanopusMsg {
+    fn request(req: ClientRequest) -> Self {
+        CanopusMsg::Request(req)
+    }
+    fn reply(&self) -> Option<&ClientReply> {
+        match self {
+            CanopusMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl ProtocolMsg for EpaxosMsg {
+    fn request(req: ClientRequest) -> Self {
+        EpaxosMsg::Request(req)
+    }
+    fn reply(&self) -> Option<&ClientReply> {
+        match self {
+            EpaxosMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl ProtocolMsg for ZabMsg {
+    fn request(req: ClientRequest) -> Self {
+        ZabMsg::Request(req)
+    }
+    fn reply(&self) -> Option<&ClientReply> {
+        match self {
+            ZabMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Open-loop workload parameters.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Offered load in requests per second (for this client process).
+    pub rate_per_sec: f64,
+    /// Fraction of requests that are writes (the paper sweeps 1–100 %).
+    pub write_ratio: f64,
+    /// Arrival aggregation tick.
+    pub tick: Dur,
+    /// Bytes per represented request (16-byte kv pairs in the paper).
+    pub op_bytes: u16,
+    /// Samples recorded before this time are discarded (warmup).
+    pub warmup: Dur,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate_per_sec: 10_000.0,
+            write_ratio: 0.2,
+            tick: Dur::millis(1),
+            op_bytes: 16,
+            warmup: Dur::millis(200),
+        }
+    }
+}
+
+/// Aggregated open-loop Poisson client bound to one protocol node.
+pub struct OpenLoopClient<M: ProtocolMsg> {
+    cfg: OpenLoopConfig,
+    target: NodeId,
+    rng: SmallRng,
+    next_op_id: u64,
+    outstanding: BTreeMap<u64, (Time, bool)>,
+    /// Completion stats for writes.
+    pub writes: LatencyRecorder,
+    /// Completion stats for reads.
+    pub reads: LatencyRecorder,
+    /// Requests issued (weighted), including warmup.
+    pub offered: u64,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: ProtocolMsg> OpenLoopClient<M> {
+    /// Creates a client targeting `target`.
+    pub fn new(target: NodeId, cfg: OpenLoopConfig, seed: u64) -> Self {
+        OpenLoopClient {
+            cfg,
+            target,
+            rng: SmallRng::seed_from_u64(seed),
+            next_op_id: 0,
+            outstanding: BTreeMap::new(),
+            writes: LatencyRecorder::default(),
+            reads: LatencyRecorder::default(),
+            offered: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Write + read recorders merged (total completion view).
+    pub fn total(&self) -> LatencyRecorder {
+        let mut merged = self.writes.clone();
+        let mut rng = SmallRng::seed_from_u64(0);
+        merged.merge(&self.reads, &mut rng);
+        merged
+    }
+
+    fn send_batch(&mut self, count: u64, is_write: bool, ctx: &mut Context<'_, M>) {
+        if count == 0 {
+            return;
+        }
+        self.next_op_id += 1;
+        let op_id = self.next_op_id;
+        let op = if is_write {
+            Op::SyntheticWrite {
+                count: count as u32,
+                op_bytes: self.cfg.op_bytes,
+            }
+        } else {
+            Op::SyntheticRead {
+                count: count as u32,
+            }
+        };
+        self.offered += count;
+        self.outstanding.insert(op_id, (ctx.now(), is_write));
+        ctx.send(
+            self.target,
+            M::request(ClientRequest {
+                client: ctx.id(),
+                op_id,
+                op,
+            }),
+        );
+    }
+}
+
+impl<M: ProtocolMsg + 'static> Process<M> for OpenLoopClient<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        // Stagger tick phase across clients to avoid lockstep arrivals.
+        let phase = Dur::nanos(self.rng.gen_range(0..self.cfg.tick.as_nanos().max(1)));
+        ctx.set_timer(phase, 0);
+    }
+
+    fn on_timer(&mut self, _t: Timer, ctx: &mut Context<'_, M>) {
+        let dt = self.cfg.tick.as_secs_f64();
+        let write_mean = self.cfg.rate_per_sec * self.cfg.write_ratio * dt;
+        let read_mean = self.cfg.rate_per_sec * (1.0 - self.cfg.write_ratio) * dt;
+        let nw = poisson(&mut self.rng, write_mean);
+        let nr = poisson(&mut self.rng, read_mean);
+        self.send_batch(nw, true, ctx);
+        self.send_batch(nr, false, ctx);
+        ctx.set_timer(self.cfg.tick, 0);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Context<'_, M>) {
+        let Some(reply) = msg.reply() else { return };
+        let Some((sent, is_write)) = self.outstanding.remove(&reply.op_id) else {
+            return;
+        };
+        if ctx.now() < Time::ZERO + self.cfg.warmup {
+            return;
+        }
+        let lat = ctx.now().saturating_since(sent);
+        let recorder = if is_write {
+            &mut self.writes
+        } else {
+            &mut self.reads
+        };
+        recorder.record(lat, reply.weight, ctx.now(), &mut self.rng);
+    }
+
+    impl_process_any!();
+}
+
+/// Closed-loop workload parameters.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopConfig {
+    /// Fraction of operations that are writes.
+    pub write_ratio: f64,
+    /// Key popularity.
+    pub keys: KeyDist,
+    /// Value size for writes.
+    pub value_bytes: usize,
+    /// Pause between receiving a reply and issuing the next op.
+    pub think_time: Dur,
+    /// Samples before this time are discarded.
+    pub warmup: Dur,
+    /// Stop after this many operations (0 = unbounded).
+    pub max_ops: u64,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            write_ratio: 0.2,
+            keys: KeyDist::uniform(1_000_000),
+            value_bytes: 8,
+            think_time: Dur::ZERO,
+            warmup: Dur::millis(100),
+            max_ops: 0,
+        }
+    }
+}
+
+/// A blocking client: one outstanding request at a time (the client model
+/// required by the paper's §7.2 lease optimization).
+pub struct ClosedLoopClient<M: ProtocolMsg> {
+    cfg: ClosedLoopConfig,
+    target: NodeId,
+    rng: SmallRng,
+    next_op_id: u64,
+    inflight: Option<(u64, Time, bool)>,
+    /// Completion stats for writes.
+    pub writes: LatencyRecorder,
+    /// Completion stats for reads.
+    pub reads: LatencyRecorder,
+    /// All replies in arrival order: `(op_id, at)` — for FIFO checks.
+    pub reply_order: Vec<(u64, Time)>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: ProtocolMsg> ClosedLoopClient<M> {
+    /// Creates a client targeting `target`.
+    pub fn new(target: NodeId, cfg: ClosedLoopConfig, seed: u64) -> Self {
+        ClosedLoopClient {
+            cfg,
+            target,
+            rng: SmallRng::seed_from_u64(seed),
+            next_op_id: 0,
+            inflight: None,
+            writes: LatencyRecorder::default(),
+            reads: LatencyRecorder::default(),
+            reply_order: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Operations completed (reads + writes).
+    pub fn completed(&self) -> u64 {
+        self.writes.completed() + self.reads.completed()
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, M>) {
+        if self.cfg.max_ops > 0 && self.next_op_id >= self.cfg.max_ops {
+            return;
+        }
+        self.next_op_id += 1;
+        let op_id = self.next_op_id;
+        let is_write = self.rng.gen::<f64>() < self.cfg.write_ratio;
+        let key = self.cfg.keys.sample(&mut self.rng);
+        let op = if is_write {
+            Op::Put {
+                key,
+                value: Bytes::from(vec![(op_id % 251) as u8; self.cfg.value_bytes]),
+            }
+        } else {
+            Op::Get { key }
+        };
+        self.inflight = Some((op_id, ctx.now(), is_write));
+        ctx.send(
+            self.target,
+            M::request(ClientRequest {
+                client: ctx.id(),
+                op_id,
+                op,
+            }),
+        );
+    }
+}
+
+impl<M: ProtocolMsg + 'static> Process<M> for ClosedLoopClient<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let phase = Dur::micros(self.rng.gen_range(0..500));
+        ctx.set_timer(phase, 0);
+    }
+
+    fn on_timer(&mut self, _t: Timer, ctx: &mut Context<'_, M>) {
+        if self.inflight.is_none() {
+            self.issue(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Context<'_, M>) {
+        let Some(reply) = msg.reply() else { return };
+        let Some((op_id, sent, is_write)) = self.inflight else {
+            return;
+        };
+        if reply.op_id != op_id {
+            return; // stale duplicate
+        }
+        self.inflight = None;
+        self.reply_order.push((op_id, ctx.now()));
+        if ctx.now() >= Time::ZERO + self.cfg.warmup {
+            let lat = ctx.now().saturating_since(sent);
+            let recorder = if is_write {
+                &mut self.writes
+            } else {
+                &mut self.reads
+            };
+            recorder.record(lat, reply.weight, ctx.now(), &mut self.rng);
+        }
+        if self.cfg.think_time.is_zero() {
+            self.issue(ctx);
+        } else {
+            ctx.set_timer(self.cfg.think_time, 0);
+        }
+    }
+
+    impl_process_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopus::{CanopusConfig, CanopusNode, EmulationTable, LotShape};
+    use canopus_sim::{Simulation, UniformFabric};
+
+    fn canopus_pair(seed: u64) -> (Simulation<CanopusMsg, UniformFabric>, Vec<NodeId>) {
+        let table = EmulationTable::new(
+            LotShape::flat(1),
+            vec![vec![NodeId(0), NodeId(1), NodeId(2)]],
+        );
+        let mut sim = Simulation::new(UniformFabric::new(Dur::micros(50)), seed);
+        for i in 0..3u32 {
+            sim.add_node(Box::new(CanopusNode::new(
+                NodeId(i),
+                table.clone(),
+                CanopusConfig::default(),
+                seed,
+            )));
+        }
+        (sim, vec![NodeId(0), NodeId(1), NodeId(2)])
+    }
+
+    #[test]
+    fn open_loop_drives_canopus_and_measures() {
+        let (mut sim, _) = canopus_pair(1);
+        let cfg = OpenLoopConfig {
+            rate_per_sec: 20_000.0,
+            write_ratio: 0.5,
+            warmup: Dur::millis(50),
+            ..Default::default()
+        };
+        let c = sim.add_node(Box::new(OpenLoopClient::<CanopusMsg>::new(
+            NodeId(0),
+            cfg,
+            99,
+        )));
+        sim.run_for(Dur::millis(400));
+        let client = sim.node::<OpenLoopClient<CanopusMsg>>(c);
+        assert!(client.writes.completed() > 1000, "writes flowed");
+        assert!(client.reads.completed() > 1000, "reads flowed");
+        // Offered load ~20k/s over 0.4s = ~8000 requests.
+        assert!((6000..10_000).contains(&client.offered), "{}", client.offered);
+        assert!(client.writes.median().is_some());
+    }
+
+    #[test]
+    fn closed_loop_completes_ops_in_order() {
+        let (mut sim, _) = canopus_pair(2);
+        let cfg = ClosedLoopConfig {
+            write_ratio: 0.5,
+            keys: KeyDist::uniform(100),
+            warmup: Dur::ZERO,
+            max_ops: 50,
+            ..Default::default()
+        };
+        let c = sim.add_node(Box::new(ClosedLoopClient::<CanopusMsg>::new(
+            NodeId(1),
+            cfg,
+            7,
+        )));
+        sim.run_for(Dur::secs(2));
+        let client = sim.node::<ClosedLoopClient<CanopusMsg>>(c);
+        assert_eq!(client.completed(), 50, "all ops completed");
+        // Strictly increasing op ids = FIFO at the client.
+        for pair in client.reply_order.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn protocol_msg_bridges() {
+        let req = ClientRequest {
+            client: NodeId(1),
+            op_id: 2,
+            op: Op::Get { key: 3 },
+        };
+        assert!(CanopusMsg::request(req.clone()).reply().is_none());
+        assert!(EpaxosMsg::request(req.clone()).reply().is_none());
+        assert!(ZabMsg::request(req).reply().is_none());
+        let reply = ClientReply {
+            op_id: 2,
+            weight: 1,
+            result: canopus_kv::OpResult::Batch,
+        };
+        assert!(CanopusMsg::Reply(reply.clone()).reply().is_some());
+        assert!(EpaxosMsg::Reply(reply.clone()).reply().is_some());
+        assert!(ZabMsg::Reply(reply).reply().is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! # canopus-workload — the paper's client model
+//!
+//! Load generation and latency accounting for the evaluation (§8): open-
+//! loop Poisson clients with configurable write ratios (the paper's 180
+//! single-DC clients / 100 clients per datacenter), closed-loop blocking
+//! clients for precise latency curves and the §7.2 lease optimization,
+//! Poisson/uniform/Zipf samplers, and mergeable latency recorders with
+//! reservoir-sampled percentiles.
+//!
+//! Clients are generic over the protocol through [`ProtocolMsg`], which is
+//! implemented here for Canopus, EPaxos, and the Zab/ZooKeeper model — so
+//! every figure drives all protocols with byte-identical workloads.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dist;
+pub mod latency;
+
+pub use client::{
+    ClosedLoopClient, ClosedLoopConfig, OpenLoopClient, OpenLoopConfig, ProtocolMsg,
+};
+pub use dist::{poisson, KeyDist};
+pub use latency::LatencyRecorder;

@@ -1,0 +1,19 @@
+//! # canopus-zab — the ZooKeeper baseline (Zab atomic broadcast)
+//!
+//! The system the Canopus paper compares against in Figure 5: a
+//! centralized-leader atomic broadcast (Zab: Junqueira, Reed, Serafini —
+//! DSN 2011) with a small participant ensemble and asynchronous
+//! **observers**, exactly as the paper configures ZooKeeper ("only five
+//! followers with the rest of the nodes set as observers"). Writes funnel
+//! through the leader; reads are served locally from committed state.
+//! "ZKCanopus" — the paper's ZooKeeper with Zab swapped for Canopus — is
+//! simply a `canopus::CanopusNode` serving the same client API; the
+//! harness builds both sides of Figure 5 from the shared workload.
+
+#![warn(missing_docs)]
+
+pub mod msg;
+pub mod node;
+
+pub use msg::{Txn, ZabMsg, Zxid};
+pub use node::{ZabConfig, ZabNode, ZabRole, ZabStats};

