@@ -1,0 +1,204 @@
+//! Vendored, zero-dependency subset of the `criterion` bench API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal wall-clock harness that is call-compatible with the
+//! `criterion` 0.5 surface the benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurements are a
+//! simple warm-up plus a timed batch with median-of-runs reporting — good
+//! enough for relative regressions, without criterion's statistics. When
+//! the binary is run with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) every benchmark body executes exactly
+//! once, keeping the test suite fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup re-runs for every single iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Duration,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.result = Some(Sample {
+                total: Duration::ZERO,
+                iters: 1,
+            });
+            return;
+        }
+        // Warm-up and iteration-count calibration.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.measurement / 4 {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().checked_div(calib_iters as u32);
+        let iters = match per_iter {
+            Some(d) if !d.is_zero() => {
+                (self.measurement.as_nanos() / d.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+            }
+            _ => 1 << 16,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.result = Some(Sample {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.result = Some(Sample {
+                total: Duration::ZERO,
+                iters: 1,
+            });
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let wall = Instant::now();
+        while wall.elapsed() < self.measurement {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some(Sample { total, iters });
+    }
+}
+
+/// The benchmark registry / runner.
+pub struct Criterion {
+    test_mode: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Criterion {
+        self.measurement = dur;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) if !self.test_mode && s.iters > 0 => {
+                let per_iter = s.total.as_nanos() as f64 / s.iters as f64;
+                println!(
+                    "{name:<40} {:>12} iters  {:>14}/iter",
+                    s.iters,
+                    fmt_ns(per_iter)
+                );
+            }
+            _ => println!("{name:<40} ok (test mode)"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            test_mode: true,
+            measurement: Duration::from_millis(1),
+        };
+        let mut hits = 0u32;
+        c.bench_function("t", |b| b.iter(|| hits += 1));
+        assert!(hits >= 1);
+        let mut batched = 0u32;
+        c.bench_function("t2", |b| {
+            b.iter_batched(|| 2u32, |v| batched += v, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 2);
+    }
+}

@@ -85,7 +85,11 @@ fn main() {
             "summary: ZooKeeper max = {}, ZKCanopus max = {} ({:.1}x)",
             fmt_rate(zk_max),
             fmt_rate(zkc_max),
-            if zk_max > 0.0 { zkc_max / zk_max } else { f64::NAN },
+            if zk_max > 0.0 {
+                zkc_max / zk_max
+            } else {
+                f64::NAN
+            },
         );
         // Low-load latency premium (first ladder point of each).
         if let (Some(zk0), Some(zkc0)) = (zk.ladder.first(), zkc.ladder.first()) {

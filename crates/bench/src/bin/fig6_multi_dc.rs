@@ -116,10 +116,7 @@ fn main() {
             sites.to_string(),
             fmt_rate(c_max),
             fmt_rate(e_max),
-            format!(
-                "{:.1}x",
-                if e_max > 0.0 { c_max / e_max } else { f64::NAN }
-            ),
+            format!("{:.1}x", if e_max > 0.0 { c_max / e_max } else { f64::NAN }),
         ]);
     }
     println!("\nFigure 6 summary — max throughput per deployment");

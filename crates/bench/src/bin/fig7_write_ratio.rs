@@ -60,5 +60,8 @@ fn main() {
     ]);
 
     println!("\nFigure 7 — max throughput, 3 datacenters, by write ratio");
-    println!("{}", render_table(&["configuration", "max throughput"], &rows));
+    println!(
+        "{}",
+        render_table(&["configuration", "max throughput"], &rows)
+    );
 }

@@ -10,9 +10,7 @@
 
 use canopus_harness::render_table;
 use canopus_net::{ClosFabric, LinkParams, Topology, WanMatrix};
-use canopus_sim::{
-    impl_process_any, Context, Dur, NodeId, Payload, Process, Simulation, Time,
-};
+use canopus_sim::{impl_process_any, Context, Dur, NodeId, Payload, Process, Simulation, Time};
 
 #[derive(Debug)]
 enum PingMsg {
@@ -94,8 +92,7 @@ fn main() {
                 .map(|(_, d)| *d)
                 .expect("pong received");
             let expected = wan.rtt(a, b);
-            let err_ms =
-                (measured.as_millis_f64() - expected.as_millis_f64()).abs();
+            let err_ms = (measured.as_millis_f64() - expected.as_millis_f64()).abs();
             worst_err = worst_err.max(err_ms);
             row.push(format!("{:.2}", measured.as_millis_f64()));
         }

@@ -11,7 +11,8 @@
 //! | `fig7_write_ratio` | Figure 7: write-ratio sweep |
 //! | `ssd_persistence`  | §8.1 SSD-vs-memory logging check |
 //!
-//! All accept `--quick` for a reduced sweep. `cargo bench` additionally
+//! The figure sweeps accept `--quick` for a reduced ladder (the Table 1
+//! and SSD checks are already fast). `cargo bench` additionally
 //! runs criterion micro-benchmarks of the protocol hot paths
 //! (`benches/micro.rs`).
 

@@ -171,10 +171,7 @@ mod tests {
         let mut t = table();
         t.apply(&MembershipUpdate::Leave { node: NodeId(1) });
         assert_eq!(t.superleaf_of(NodeId(1)), None);
-        assert_eq!(
-            t.emulators(&VnodeId(vec![0])),
-            vec![NodeId(0), NodeId(2)]
-        );
+        assert_eq!(t.emulators(&VnodeId(vec![0])), vec![NodeId(0), NodeId(2)]);
         assert_eq!(t.member_count(0), 2);
         // Leave of an unknown node is a no-op.
         t.apply(&MembershipUpdate::Leave { node: NodeId(99) });
@@ -234,9 +231,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "two super-leaves")]
     fn duplicate_initial_member_rejected() {
-        EmulationTable::new(
-            LotShape::flat(2),
-            vec![vec![NodeId(0)], vec![NodeId(0)]],
-        );
+        EmulationTable::new(LotShape::flat(2), vec![vec![NodeId(0)], vec![NodeId(0)]]);
     }
 }

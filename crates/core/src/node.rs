@@ -145,7 +145,7 @@ struct CycleState {
 }
 
 /// The Canopus protocol node. Drive it with any [`Process`] runtime — the
-/// deterministic simulator or the tokio TCP transport.
+/// deterministic simulator or the real TCP transport.
 pub struct CanopusNode {
     cfg: CanopusConfig,
     me: NodeId,
@@ -365,8 +365,8 @@ impl CanopusNode {
                 req,
                 arrival: ctx.now(),
             };
-            let leased_write = self.cfg.read_mode == ReadMode::Leases
-                && matches!(op.req.op, Op::Put { .. });
+            let leased_write =
+                self.cfg.read_mode == ReadMode::Leases && matches!(op.req.op, Op::Put { .. });
             if leased_write {
                 if let Op::Put { key, .. } = op.req.op {
                     if self.lease_active_for_next_cycles(key) {
@@ -604,7 +604,11 @@ impl CanopusNode {
             .copied()
             .filter(|e| !self.remote_suspects.contains(e))
             .collect();
-        let emulators = if preferred.is_empty() { &all } else { &preferred };
+        let emulators = if preferred.is_empty() {
+            &all
+        } else {
+            &preferred
+        };
         let pick = (self.rng.gen::<u32>() as usize + attempt as usize) % emulators.len();
         let target = emulators[pick];
         ctx.send(
@@ -744,11 +748,7 @@ impl CanopusNode {
                 return;
             }
             let entry = self.cycles.get_mut(&c).expect("exists");
-            let contributors: Vec<VnodeState> = entry
-                .round1
-                .values()
-                .cloned()
-                .collect();
+            let contributors: Vec<VnodeState> = entry.round1.values().cloned().collect();
             let h1 = VnodeState::merge(self.my_parent.clone(), contributors);
             entry.ancestors[0] = Some(h1);
             self.answer_waiting(c, ctx);
@@ -908,10 +908,7 @@ impl CanopusNode {
             if is_own {
                 // Serve reads positioned before the k-th own write.
                 for (k, op) in set.ops.iter().enumerate() {
-                    while read_iter
-                        .peek()
-                        .is_some_and(|r| r.write_prefix <= k)
-                    {
+                    while read_iter.peek().is_some_and(|r| r.write_prefix <= k) {
                         let r = read_iter.next().expect("peeked");
                         self.serve_read(&r.req, ctx);
                     }
@@ -920,7 +917,7 @@ impl CanopusNode {
                     total_weight += op.req.op.weight() as u64;
                 }
                 // Reads positioned after every own write.
-                while let Some(r) = read_iter.next() {
+                for r in read_iter.by_ref() {
                     self.serve_read(&r.req, ctx);
                 }
             } else {
@@ -985,11 +982,7 @@ impl CanopusNode {
 
         // 6. Prune retired cycle state.
         let keep_from = CycleId(c.0.saturating_sub(self.cfg.state_retention));
-        let stale: Vec<CycleId> = self
-            .cycles
-            .range(..keep_from)
-            .map(|(&k, _)| k)
-            .collect();
+        let stale: Vec<CycleId> = self.cycles.range(..keep_from).map(|(&k, _)| k).collect();
         for k in stale {
             self.cycles.remove(&k);
         }
@@ -1066,11 +1059,7 @@ impl CanopusNode {
         }
     }
 
-    fn handle_proposal_response(
-        &mut self,
-        state: VnodeState,
-        ctx: &mut Context<'_, CanopusMsg>,
-    ) {
+    fn handle_proposal_response(&mut self, state: VnodeState, ctx: &mut Context<'_, CanopusMsg>) {
         let c = state.cycle;
         if c <= self.last_committed {
             return;
@@ -1080,9 +1069,7 @@ impl CanopusNode {
             .get(&c)
             .map(|e| {
                 e.remote.contains_key(&state.vnode)
-                    || e.fetches
-                        .get(&state.vnode)
-                        .is_some_and(|f| f.responded)
+                    || e.fetches.get(&state.vnode).is_some_and(|f| f.responded)
             })
             .unwrap_or(false);
         if already {
@@ -1131,9 +1118,9 @@ impl CanopusNode {
             self.flush_raft(out, ctx);
         }
         for d in deliveries {
-            match BroadcastItem::from_bytes(d.data) {
-                Ok(item) => self.handle_delivery(d.origin, item, ctx),
-                Err(_) => {} // corrupt payloads cannot occur internally
+            // Corrupt payloads cannot occur internally; ignore decode errors.
+            if let Ok(item) = BroadcastItem::from_bytes(d.data) {
+                self.handle_delivery(d.origin, item, ctx);
             }
         }
 
@@ -1302,9 +1289,8 @@ impl Process<CanopusMsg> for CanopusNode {
                 };
                 self.flush_raft(out, ctx);
                 for d in deliveries {
-                    match BroadcastItem::from_bytes(d.data) {
-                        Ok(item) => self.handle_delivery(d.origin, item, ctx),
-                        Err(_) => {}
+                    if let Ok(item) = BroadcastItem::from_bytes(d.data) {
+                        self.handle_delivery(d.origin, item, ctx);
                     }
                 }
             }

@@ -215,7 +215,10 @@ impl LotShape {
     /// children since round 1 is handled by super-leaf broadcast).
     pub fn children(&self, v: &VnodeId) -> Vec<VnodeId> {
         let depth = v.depth();
-        assert!(depth < self.fanouts.len(), "height-1 vnodes have no vnode children");
+        assert!(
+            depth < self.fanouts.len(),
+            "height-1 vnodes have no vnode children"
+        );
         (0..self.fanouts[depth]).map(|i| v.child(i)).collect()
     }
 

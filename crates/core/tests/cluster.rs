@@ -6,7 +6,7 @@
 
 use bytes::Bytes;
 use canopus::{
-    CanopusConfig, CanopusNode, CanopusMsg, CanopusStats, CommittedOp, CycleTrigger,
+    CanopusConfig, CanopusMsg, CanopusNode, CanopusStats, CommittedOp, CycleTrigger,
     EmulationTable, LotShape, ReadMode,
 };
 use canopus_kv::{
@@ -135,10 +135,7 @@ fn commit_histories(cluster: &Cluster) -> Vec<Vec<(u64, u32, u64)>> {
                     c.sets.iter().flat_map(|s| {
                         s.ops.iter().map(|op| match *op {
                             CommittedOp::Put {
-                                client,
-                                op_id,
-                                key,
-                                ..
+                                client, op_id, key, ..
                             } => (key, client.0, op_id),
                             CommittedOp::Synthetic { client, op_id, .. } => {
                                 (u64::MAX, client.0, op_id)
@@ -182,9 +179,17 @@ fn two_superleaves_agree_on_total_order() {
     let cfg = CanopusConfig::default();
     let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 2);
     // Clients on nodes in both super-leaves, writing concurrently.
-    for (i, &target) in [NodeId(0), NodeId(1), NodeId(3), NodeId(5)].iter().enumerate() {
+    for (i, &target) in [NodeId(0), NodeId(1), NodeId(3), NodeId(5)]
+        .iter()
+        .enumerate()
+    {
         let script: Vec<(Dur, Op)> = (0..8)
-            .map(|k| (Dur::micros(500 + 137 * k + i as u64 * 53), put(100 + k, i as u8)))
+            .map(|k| {
+                (
+                    Dur::micros(500 + 137 * k + i as u64 * 53),
+                    put(100 + k, i as u8),
+                )
+            })
             .collect();
         add_client(&mut cluster, target, script);
     }
@@ -208,7 +213,11 @@ fn two_superleaves_agree_on_total_order() {
         .digest();
     for &n in &cluster.nodes {
         assert_eq!(
-            cluster.sim.node::<CanopusNode>(n).emulation_table().digest(),
+            cluster
+                .sim
+                .node::<CanopusNode>(n)
+                .emulation_table()
+                .digest(),
             t0
         );
     }
@@ -223,7 +232,12 @@ fn height_three_lot_agrees() {
     for leaf in 0..4u32 {
         let target = NodeId(leaf * 3);
         let script: Vec<(Dur, Op)> = (0..6)
-            .map(|k| (Dur::micros(300 + 211 * k), put(leaf as u64 * 10 + k, leaf as u8)))
+            .map(|k| {
+                (
+                    Dur::micros(300 + 211 * k),
+                    put(leaf as u64 * 10 + k, leaf as u8),
+                )
+            })
             .collect();
         add_client(&mut cluster, target, script);
     }
@@ -292,9 +306,9 @@ fn reads_observe_writes_linearizably() {
                 invoke: sent,
                 respond: *at,
             };
-            checker.check_read(obs).unwrap_or_else(|e| {
-                panic!("linearizability violation at reader {reader}: {e:?}")
-            });
+            checker
+                .check_read(obs)
+                .unwrap_or_else(|e| panic!("linearizability violation at reader {reader}: {e:?}"));
             total_reads += 1;
         }
     }
@@ -334,14 +348,21 @@ fn client_fifo_order_is_preserved() {
 
 #[test]
 fn pipelined_mode_commits_under_load() {
-    let mut cfg = CanopusConfig::default();
-    cfg.trigger = CycleTrigger::Pipelined;
-    cfg.cycle_interval = Dur::millis(2);
+    let cfg = CanopusConfig {
+        trigger: CycleTrigger::Pipelined,
+        cycle_interval: Dur::millis(2),
+        ..CanopusConfig::default()
+    };
     let mut cluster = build_cluster(LotShape::flat(3), 3, &cfg, 6);
     for leaf in 0..3u32 {
         let target = NodeId(leaf * 3 + 1);
         let script: Vec<(Dur, Op)> = (0..30)
-            .map(|k| (Dur::micros(200 * k + 79), put(leaf as u64 * 100 + k, leaf as u8)))
+            .map(|k| {
+                (
+                    Dur::micros(200 * k + 79),
+                    put(leaf as u64 * 100 + k, leaf as u8),
+                )
+            })
             .collect();
         add_client(&mut cluster, target, script);
     }
@@ -362,9 +383,11 @@ fn pipelined_mode_commits_under_load() {
 
 #[test]
 fn node_failure_excludes_and_consensus_continues() {
-    let mut cfg = CanopusConfig::default();
-    cfg.failure_timeout = Dur::millis(15);
-    cfg.fetch_timeout = Dur::millis(40);
+    let cfg = CanopusConfig {
+        failure_timeout: Dur::millis(15),
+        fetch_timeout: Dur::millis(40),
+        ..CanopusConfig::default()
+    };
     let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 7);
     // Client writes continuously to node 0 (super-leaf 0).
     let script: Vec<(Dur, Op)> = (0..40)
@@ -393,7 +416,9 @@ fn node_failure_excludes_and_consensus_continues() {
                 .flat_map(|cc| {
                     cc.sets.iter().flat_map(|s| {
                         s.ops.iter().map(|op| match *op {
-                            CommittedOp::Put { client, op_id, key, .. } => (key, client.0, op_id),
+                            CommittedOp::Put {
+                                client, op_id, key, ..
+                            } => (key, client.0, op_id),
                             CommittedOp::Synthetic { client, op_id, .. } => {
                                 (u64::MAX, client.0, op_id)
                             }
@@ -417,9 +442,11 @@ fn node_failure_excludes_and_consensus_continues() {
 
 #[test]
 fn superleaf_failure_stalls_without_divergence() {
-    let mut cfg = CanopusConfig::default();
-    cfg.failure_timeout = Dur::millis(15);
-    cfg.fetch_timeout = Dur::millis(50);
+    let cfg = CanopusConfig {
+        failure_timeout: Dur::millis(15),
+        fetch_timeout: Dur::millis(50),
+        ..CanopusConfig::default()
+    };
     let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 8);
     let script: Vec<(Dur, Op)> = (0..30)
         .map(|k| (Dur::millis(3 * k + 1), put(k, k as u8)))
@@ -453,7 +480,9 @@ fn superleaf_failure_stalls_without_divergence() {
                 .flat_map(|cc| {
                     cc.sets.iter().flat_map(|s| {
                         s.ops.iter().map(|op| match *op {
-                            CommittedOp::Put { client, op_id, key, .. } => (key, client.0, op_id),
+                            CommittedOp::Put {
+                                client, op_id, key, ..
+                            } => (key, client.0, op_id),
                             CommittedOp::Synthetic { client, op_id, .. } => {
                                 (u64::MAX, client.0, op_id)
                             }
@@ -500,8 +529,10 @@ fn empty_cluster_stays_idle() {
 
 #[test]
 fn lease_mode_serves_uncontended_reads_fast_and_linearizably() {
-    let mut cfg = CanopusConfig::default();
-    cfg.read_mode = ReadMode::Leases;
+    let cfg = CanopusConfig {
+        read_mode: ReadMode::Leases,
+        ..CanopusConfig::default()
+    };
     let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 10);
     // Writer hammers key 1; reader reads both key 1 (contended) and key 99
     // (never written -> always fast).

@@ -157,7 +157,7 @@ impl EpaxosNode {
     /// Fast-quorum size: `F + floor((F+1)/2)` for `N = 2F+1`.
     fn fast_quorum(&self) -> usize {
         let f = (self.n() - 1) / 2;
-        f + (f + 1) / 2
+        f + f.div_ceil(2)
     }
 
     fn majority(&self) -> usize {
@@ -352,9 +352,7 @@ impl EpaxosNode {
                     return true;
                 }
                 match self.instances.get(d) {
-                    Some(i) => {
-                        !(i.status == Status::Committed || i.status == Status::Executed)
-                    }
+                    Some(i) => !(i.status == Status::Committed || i.status == Status::Executed),
                     None => true, // never seen: certainly uncommitted
                 }
             });
@@ -707,8 +705,10 @@ mod tests {
     fn build(n: u32, seed: u64) -> (Simulation<EpaxosMsg, UniformFabric>, Vec<NodeId>) {
         let mut sim = Simulation::new(UniformFabric::new(Dur::micros(100)), seed);
         let replicas: Vec<NodeId> = (0..n).map(NodeId).collect();
-        let mut cfg = EpaxosConfig::default();
-        cfg.batch_duration = Dur::millis(1);
+        let cfg = EpaxosConfig {
+            batch_duration: Dur::millis(1),
+            ..EpaxosConfig::default()
+        };
         for &r in &replicas {
             sim.add_node(Box::new(EpaxosNode::new(r, replicas.clone(), cfg.clone())));
         }

@@ -10,21 +10,46 @@ fn main() {
             let t0 = Instant::now();
             let cfg = canopus_config_for(&spec);
             let r = run_canopus(&spec, &load, cfg, 1);
-            println!("canopus n={} rate={} achieved={} med={} wmed={} rmed={} healthy={} wall={:?}",
-                spec.node_count(), fmt_rate(rate), fmt_rate(r.achieved), fmt_dur(r.median), fmt_dur(r.write_median), fmt_dur(r.read_median), r.healthy, t0.elapsed());
+            println!(
+                "canopus n={} rate={} achieved={} med={} wmed={} rmed={} healthy={} wall={:?}",
+                spec.node_count(),
+                fmt_rate(rate),
+                fmt_rate(r.achieved),
+                fmt_dur(r.median),
+                fmt_dur(r.write_median),
+                fmt_dur(r.read_median),
+                r.healthy,
+                t0.elapsed()
+            );
         }
         for rate in [200_000.0, 800_000.0] {
             let load = LoadSpec::new(rate);
             let t0 = Instant::now();
             let r = run_epaxos(&spec, &load, canopus_epaxos::EpaxosConfig::default(), 1);
-            println!("epaxos  n={} rate={} achieved={} med={} healthy={} wall={:?}",
-                spec.node_count(), fmt_rate(rate), fmt_rate(r.achieved), fmt_dur(r.median), r.healthy, t0.elapsed());
+            println!(
+                "epaxos  n={} rate={} achieved={} med={} healthy={} wall={:?}",
+                spec.node_count(),
+                fmt_rate(rate),
+                fmt_rate(r.achieved),
+                fmt_dur(r.median),
+                r.healthy,
+                t0.elapsed()
+            );
             let t0 = Instant::now();
-            let mut zcfg = canopus_zab::ZabConfig::default();
-            zcfg.participants = 6.min(spec.node_count());
+            let zcfg = canopus_zab::ZabConfig {
+                participants: 6.min(spec.node_count()),
+                ..canopus_zab::ZabConfig::default()
+            };
             let r = run_zab(&spec, &load, zcfg, 1);
-            println!("zab     n={} rate={} achieved={} med={} healthy={} wall={:?}",
-                spec.node_count(), fmt_rate(rate), fmt_rate(r.achieved), fmt_dur(r.median), r.healthy, t0.elapsed());
+            println!(
+                "zab     n={} rate={} achieved={} med={} healthy={} wall={:?}",
+                spec.node_count(),
+                fmt_rate(rate),
+                fmt_rate(r.achieved),
+                fmt_dur(r.median),
+                r.healthy,
+                t0.elapsed()
+            );
         }
     }
     let spec = DeploymentSpec::paper_multi_dc(3);
@@ -35,11 +60,25 @@ fn main() {
         let t0 = Instant::now();
         let cfg = canopus_config_for(&spec);
         let r = run_canopus(&spec, &load, cfg, 1);
-        println!("canopus-wan n=9 rate={} achieved={} med={} wmed={} rmed={} healthy={} wall={:?}",
-            fmt_rate(rate), fmt_rate(r.achieved), fmt_dur(r.median), fmt_dur(r.write_median), fmt_dur(r.read_median), r.healthy, t0.elapsed());
+        println!(
+            "canopus-wan n=9 rate={} achieved={} med={} wmed={} rmed={} healthy={} wall={:?}",
+            fmt_rate(rate),
+            fmt_rate(r.achieved),
+            fmt_dur(r.median),
+            fmt_dur(r.write_median),
+            fmt_dur(r.read_median),
+            r.healthy,
+            t0.elapsed()
+        );
         let t0 = Instant::now();
         let r = run_epaxos(&spec, &load, canopus_epaxos::EpaxosConfig::default(), 1);
-        println!("epaxos-wan  n=9 rate={} achieved={} med={} healthy={} wall={:?}",
-            fmt_rate(rate), fmt_rate(r.achieved), fmt_dur(r.median), r.healthy, t0.elapsed());
+        println!(
+            "epaxos-wan  n=9 rate={} achieved={} med={} healthy={} wall={:?}",
+            fmt_rate(rate),
+            fmt_rate(r.achieved),
+            fmt_dur(r.median),
+            r.healthy,
+            t0.elapsed()
+        );
     }
 }

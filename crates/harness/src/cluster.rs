@@ -79,7 +79,11 @@ where
         assert_eq!(id, slot, "client ids must match topology");
         clients.push(id);
     }
-    Cluster { sim, nodes, clients }
+    Cluster {
+        sim,
+        nodes,
+        clients,
+    }
 }
 
 /// The default Canopus configuration for a deployment: self-clocked cycles
@@ -116,11 +120,7 @@ pub fn build_canopus(
     let per = spec.per_group();
     let shape = LotShape::flat(groups as u16);
     let membership: Vec<Vec<NodeId>> = (0..groups)
-        .map(|g| {
-            (0..per)
-                .map(|i| NodeId((g * per + i) as u32))
-                .collect()
-        })
+        .map(|g| (0..per).map(|i| NodeId((g * per + i) as u32)).collect())
         .collect();
     let table = EmulationTable::new(shape, membership);
     build_generic(spec, load, seed, |id| {

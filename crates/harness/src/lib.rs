@@ -16,8 +16,8 @@ pub mod table;
 
 pub use cluster::{build_canopus, build_epaxos, build_zab, canopus_config_for, Cluster};
 pub use run::{
-    deterministic_check, find_max_throughput, latency_at_70pct, run_canopus, run_epaxos,
-    run_zab, RunResult, SearchResult, SearchSpec,
+    deterministic_check, find_max_throughput, latency_at_70pct, run_canopus, run_epaxos, run_zab,
+    RunResult, SearchResult, SearchSpec,
 };
 pub use spec::{DeploymentSpec, LoadSpec, TopoSpec};
 pub use table::{fmt_dur, fmt_rate, render_table};

@@ -193,10 +193,7 @@ pub fn find_max_throughput(
 
 /// Runs the representative-latency measurement at 70 % of max throughput
 /// (the paper reports medians at that operating point).
-pub fn latency_at_70pct(
-    max_rate: f64,
-    mut run: impl FnMut(f64) -> RunResult,
-) -> RunResult {
+pub fn latency_at_70pct(max_rate: f64, mut run: impl FnMut(f64) -> RunResult) -> RunResult {
     run(max_rate * 0.7)
 }
 

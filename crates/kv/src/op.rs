@@ -291,10 +291,7 @@ mod tests {
                 value: Bytes::from_static(b"abc"),
             },
         };
-        assert_eq!(
-            ClientRequest::from_bytes(req.to_bytes()).unwrap(),
-            req
-        );
+        assert_eq!(ClientRequest::from_bytes(req.to_bytes()).unwrap(), req);
         let reply = ClientReply {
             op_id: 99,
             weight: 1,

@@ -15,12 +15,14 @@
 //!   and WAN bottlenecks emerge from first principles.
 //! * [`wire`] — the hand-rolled binary codec shared by the simulator's
 //!   size accounting and the real transport.
-//! * [`tcp`] — a tokio TCP driver that runs unmodified [`canopus_sim::Process`]
+//! * [`tcp`] — a thread-per-connection TCP driver (behind the `tcp`
+//!   feature, on by default) that runs unmodified [`canopus_sim::Process`]
 //!   state machines over real sockets.
 
 #![warn(missing_docs)]
 
 pub mod clos;
+#[cfg(feature = "tcp")]
 pub mod tcp;
 pub mod topology;
 pub mod wan;

@@ -1,5 +1,5 @@
-//! Tokio TCP transport: runs the same sans-IO [`Process`] state machines
-//! over real sockets.
+//! TCP transport: runs the same sans-IO [`Process`] state machines over
+//! real sockets, one thread per node plus one per connection.
 //!
 //! Frames are a 4-byte little-endian length prefix followed by the
 //! [`Wire`]-encoded message. The first frame on every connection is a
@@ -11,28 +11,32 @@
 //! This module exists to make the library deployable, and to demonstrate
 //! that the protocol crates are genuinely IO-free: `examples/live_cluster.rs`
 //! runs a Canopus group over loopback TCP with zero changes to protocol
-//! code.
+//! code. The build is std-only (threads + `std::net`); an async runtime
+//! would slot in behind the same `tcp` feature.
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::net::SocketAddr;
-use std::time::Duration as StdDuration;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
 
 use bytes::Bytes;
 use canopus_sim::{Context, Effect, NodeId, Payload, Process, Time, Timer, TimerId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::{mpsc, oneshot};
 
 use crate::wire::{Wire, WireError, MAX_FRAME};
 
+/// How long the node loop waits before re-checking the shutdown signal.
+const POLL_INTERVAL: StdDuration = StdDuration::from_millis(20);
+
 /// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF.
-pub async fn read_frame<R: AsyncReadExt + Unpin>(
-    stream: &mut R,
-) -> std::io::Result<Option<Bytes>> {
+pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<Option<Bytes>> {
     let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf).await {
+    match stream.read_exact(&mut len_buf) {
         Ok(_) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
@@ -45,18 +49,15 @@ pub async fn read_frame<R: AsyncReadExt + Unpin>(
         ));
     }
     let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload).await?;
+    stream.read_exact(&mut payload)?;
     Ok(Some(Bytes::from(payload)))
 }
 
 /// Writes one length-prefixed frame.
-pub async fn write_frame<W: AsyncWriteExt + Unpin>(
-    stream: &mut W,
-    payload: &[u8],
-) -> std::io::Result<()> {
+pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> std::io::Result<()> {
     let len = payload.len() as u32;
-    stream.write_all(&len.to_le_bytes()).await?;
-    stream.write_all(payload).await?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
     Ok(())
 }
 
@@ -89,17 +90,17 @@ pub struct TcpNodeHandle<M: Payload> {
     pub id: NodeId,
     /// The address the node listens on.
     pub addr: SocketAddr,
-    shutdown: Option<oneshot::Sender<()>>,
-    join: tokio::task::JoinHandle<Box<dyn Process<M>>>,
+    shutdown: Option<Sender<()>>,
+    join: JoinHandle<Box<dyn Process<M>>>,
 }
 
 impl<M: Payload> TcpNodeHandle<M> {
     /// Requests shutdown and returns the final process state.
-    pub async fn stop(mut self) -> Box<dyn Process<M>> {
+    pub fn stop(mut self) -> Box<dyn Process<M>> {
         if let Some(tx) = self.shutdown.take() {
             let _ = tx.send(());
         }
-        self.join.await.expect("node task panicked")
+        self.join.join().expect("node thread panicked")
     }
 }
 
@@ -132,36 +133,46 @@ impl Ord for TimerEntry {
 /// `listener` must already be bound; `peers` maps every destination the
 /// process will send to. Messages to unknown peers are dropped with a log
 /// line to stderr (consensus protocols treat this as loss).
-pub async fn run_node<M>(
+pub fn run_node<M>(
     id: NodeId,
     mut process: Box<dyn Process<M>>,
     listener: TcpListener,
     peers: PeerMap,
-    mut shutdown: oneshot::Receiver<()>,
+    shutdown: Receiver<()>,
     seed: u64,
 ) -> Box<dyn Process<M>>
 where
     M: Wire + Payload + Send,
 {
-    let start = tokio::time::Instant::now();
+    let start = Instant::now();
     let now_fn = move || Time::from_nanos(start.elapsed().as_nanos() as u64);
 
-    let (inbox_tx, mut inbox_rx) = mpsc::channel::<(NodeId, M)>(4096);
+    let (inbox_tx, inbox_rx) = mpsc::channel::<(NodeId, M)>();
 
     // Accept loop: each inbound connection handshakes, then feeds the inbox.
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop_flag);
     let accept_inbox = inbox_tx.clone();
-    let accept_task = tokio::spawn(async move {
-        loop {
-            let Ok((stream, _)) = listener.accept().await else {
-                return;
-            };
-            let inbox = accept_inbox.clone();
-            tokio::spawn(async move {
-                if let Err(e) = serve_connection(stream, inbox).await {
-                    // Connection errors are expected during shutdown/reconnect.
-                    let _ = e;
+    listener
+        .set_nonblocking(true)
+        .expect("set listener nonblocking");
+    let accept_thread = std::thread::spawn(move || {
+        while !accept_stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let inbox = accept_inbox.clone();
+                    std::thread::spawn(move || {
+                        // Connection errors are expected during
+                        // shutdown/reconnect.
+                        let _ = serve_connection(stream, inbox);
+                    });
                 }
-            });
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => return,
+            }
         }
     });
 
@@ -169,7 +180,7 @@ where
     let mut next_timer_id: u64 = 0;
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let mut armed: HashSet<u64> = HashSet::new();
-    let mut outbox: HashMap<NodeId, mpsc::Sender<Bytes>> = HashMap::new();
+    let mut outbox: HashMap<NodeId, SyncSender<Bytes>> = HashMap::new();
 
     // Start the process.
     {
@@ -187,7 +198,15 @@ where
         );
     }
 
-    loop {
+    'run: loop {
+        // A dropped handle (sender disconnected) counts as shutdown, like
+        // the closed-oneshot semantics this loop replaces — otherwise a
+        // handle dropped without stop() would leak a live node forever.
+        match shutdown.try_recv() {
+            Ok(()) => break 'run,
+            Err(mpsc::TryRecvError::Disconnected) => break 'run,
+            Err(mpsc::TryRecvError::Empty) => {}
+        }
         // Pop expired/cancelled timer heads to find the next real deadline.
         let next_deadline = loop {
             match timers.peek() {
@@ -198,59 +217,79 @@ where
                 None => break None,
             }
         };
-        let sleep = match next_deadline {
-            Some(at) => {
-                let now = now_fn();
-                let delta = at.saturating_since(now);
-                tokio::time::sleep(StdDuration::from_nanos(delta.as_nanos()))
+        let now = now_fn();
+        if let Some(at) = next_deadline {
+            if at <= now {
+                if let Some(entry) = timers.pop() {
+                    if armed.remove(&entry.id.0) {
+                        let timer = Timer {
+                            id: entry.id,
+                            token: entry.token,
+                        };
+                        let mut ctx = Context::detached(now, id, &mut rng, &mut next_timer_id);
+                        process.on_timer(timer, &mut ctx);
+                        let (effects, _) = ctx.into_effects();
+                        apply_effects(
+                            id,
+                            effects,
+                            now_fn(),
+                            &mut timers,
+                            &mut armed,
+                            &mut outbox,
+                            &peers,
+                        );
+                    }
+                }
+                continue 'run;
             }
-            None => tokio::time::sleep(StdDuration::from_secs(3600)),
+        }
+        // Wait for the next message, but never past the next timer deadline
+        // or the shutdown-poll interval.
+        let wait = match next_deadline {
+            Some(at) => {
+                StdDuration::from_nanos(at.saturating_since(now).as_nanos()).min(POLL_INTERVAL)
+            }
+            None => POLL_INTERVAL,
         };
-        tokio::pin!(sleep);
-
-        tokio::select! {
-            _ = &mut shutdown => break,
-            msg = inbox_rx.recv() => {
-                let Some((from, msg)) = msg else { break };
+        match inbox_rx.recv_timeout(wait) {
+            Ok((from, msg)) => {
                 let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
                 process.on_message(from, msg, &mut ctx);
                 let (effects, _) = ctx.into_effects();
-                apply_effects(id, effects, now_fn(), &mut timers, &mut armed, &mut outbox, &peers);
+                apply_effects(
+                    id,
+                    effects,
+                    now_fn(),
+                    &mut timers,
+                    &mut armed,
+                    &mut outbox,
+                    &peers,
+                );
             }
-            _ = &mut sleep, if next_deadline.is_some() => {
-                if let Some(entry) = timers.pop() {
-                    if armed.remove(&entry.id.0) {
-                        let timer = Timer { id: entry.id, token: entry.token };
-                        let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
-                        process.on_timer(timer, &mut ctx);
-                        let (effects, _) = ctx.into_effects();
-                        apply_effects(id, effects, now_fn(), &mut timers, &mut armed, &mut outbox, &peers);
-                    }
-                }
-            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break 'run,
         }
     }
 
-    accept_task.abort();
+    stop_flag.store(true, Ordering::Relaxed);
+    drop(inbox_rx);
+    let _ = accept_thread.join();
     process
 }
 
-async fn serve_connection<M>(
-    mut stream: TcpStream,
-    inbox: mpsc::Sender<(NodeId, M)>,
-) -> std::io::Result<()>
+fn serve_connection<M>(mut stream: TcpStream, inbox: Sender<(NodeId, M)>) -> std::io::Result<()>
 where
     M: Wire + Payload + Send,
 {
-    let Some(hello) = read_frame(&mut stream).await? else {
+    let Some(hello) = read_frame(&mut stream)? else {
         return Ok(());
     };
     let peer = NodeId::from_bytes(hello)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    while let Some(frame) = read_frame(&mut stream).await? {
+    while let Some(frame) = read_frame(&mut stream)? {
         match M::from_bytes(frame) {
             Ok(msg) => {
-                if inbox.send((peer, msg)).await.is_err() {
+                if inbox.send((peer, msg)).is_err() {
                     return Ok(()); // node shut down
                 }
             }
@@ -268,7 +307,7 @@ fn apply_effects<M>(
     now: Time,
     timers: &mut BinaryHeap<TimerEntry>,
     armed: &mut HashSet<u64>,
-    outbox: &mut HashMap<NodeId, mpsc::Sender<Bytes>>,
+    outbox: &mut HashMap<NodeId, SyncSender<Bytes>>,
     peers: &PeerMap,
 ) where
     M: Wire + Payload + Send,
@@ -298,35 +337,41 @@ fn apply_effects<M>(
     }
 }
 
-/// Spawns the writer task for one peer; returns the channel feeding it.
-fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> mpsc::Sender<Bytes> {
-    let (tx, mut rx) = mpsc::channel::<Bytes>(4096);
-    tokio::spawn(async move {
+/// Spawns the writer thread for one peer; returns the channel feeding it.
+fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSender<Bytes> {
+    let (tx, rx) = mpsc::sync_channel::<Bytes>(4096);
+    std::thread::spawn(move || {
         let Some(addr) = addr else {
             eprintln!("canopus-net: no address for {to}; dropping its traffic");
-            while rx.recv().await.is_some() {}
+            while rx.recv().is_ok() {}
             return;
         };
         let mut backoff = StdDuration::from_millis(10);
         'reconnect: loop {
             let mut stream = loop {
-                match TcpStream::connect(addr).await {
+                match TcpStream::connect(addr) {
                     Ok(s) => break s,
                     Err(_) => {
-                        tokio::time::sleep(backoff).await;
+                        std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(StdDuration::from_secs(1));
                         // Drain queued messages while unreachable (loss).
-                        while rx.try_recv().is_ok() {}
+                        loop {
+                            match rx.try_recv() {
+                                Ok(_) => {}
+                                Err(mpsc::TryRecvError::Empty) => break,
+                                Err(mpsc::TryRecvError::Disconnected) => return,
+                            }
+                        }
                     }
                 }
             };
             backoff = StdDuration::from_millis(10);
             let _ = stream.set_nodelay(true);
-            if write_frame(&mut stream, &self_id.to_bytes()).await.is_err() {
+            if write_frame(&mut stream, &self_id.to_bytes()).is_err() {
                 continue 'reconnect;
             }
-            while let Some(frame) = rx.recv().await {
-                if write_frame(&mut stream, &frame).await.is_err() {
+            while let Ok(frame) = rx.recv() {
+                if write_frame(&mut stream, &frame).is_err() {
                     continue 'reconnect;
                 }
             }
@@ -341,7 +386,7 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> mpsc::
 /// Returns one handle per process, in order. Intended for examples and
 /// integration tests; production deployments would use [`run_node`] with
 /// externally managed listeners and peer maps.
-pub async fn spawn_local_cluster<M>(
+pub fn spawn_local_cluster<M>(
     processes: Vec<Box<dyn Process<M>>>,
     seed: u64,
 ) -> Vec<TcpNodeHandle<M>>
@@ -351,9 +396,7 @@ where
     let mut listeners = Vec::new();
     let mut peers = PeerMap::new();
     for (i, _) in processes.iter().enumerate() {
-        let listener = TcpListener::bind("127.0.0.1:0")
-            .await
-            .expect("bind loopback");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
         let addr = listener.local_addr().expect("local addr");
         peers.insert(NodeId(i as u32), addr);
         listeners.push((listener, addr));
@@ -361,16 +404,18 @@ where
     let mut handles = Vec::new();
     for (i, (process, (listener, addr))) in processes.into_iter().zip(listeners).enumerate() {
         let id = NodeId(i as u32);
-        let (tx, rx) = oneshot::channel();
+        let (tx, rx) = mpsc::channel();
         let peer_map = peers.clone();
-        let join = tokio::spawn(run_node(
-            id,
-            process,
-            listener,
-            peer_map,
-            rx,
-            seed.wrapping_add(i as u64),
-        ));
+        let join = std::thread::spawn(move || {
+            run_node(
+                id,
+                process,
+                listener,
+                peer_map,
+                rx,
+                seed.wrapping_add(i as u64),
+            )
+        });
         handles.push(TcpNodeHandle {
             id,
             addr,
@@ -384,8 +429,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use canopus_sim::impl_process_any;
     use bytes::BytesMut;
+    use canopus_sim::impl_process_any;
 
     #[derive(Debug, Clone, PartialEq)]
     struct Num(u64);
@@ -426,51 +471,48 @@ mod tests {
         impl_process_any!();
     }
 
-    #[tokio::test]
-    async fn frames_round_trip_over_tcp() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn frames_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut stream, _) = listener.accept().await.unwrap();
-            read_frame(&mut stream).await.unwrap().unwrap()
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frame(&mut stream).unwrap().unwrap()
         });
-        let mut client = TcpStream::connect(addr).await.unwrap();
-        write_frame(&mut client, b"hello").await.unwrap();
-        let got = server.await.unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        write_frame(&mut client, b"hello").unwrap();
+        let got = server.join().unwrap();
         assert_eq!(&got[..], b"hello");
     }
 
-    #[tokio::test]
-    async fn read_frame_reports_clean_eof() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn read_frame_reports_clean_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut stream, _) = listener.accept().await.unwrap();
-            read_frame(&mut stream).await.unwrap()
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frame(&mut stream).unwrap()
         });
-        let client = TcpStream::connect(addr).await.unwrap();
+        let client = TcpStream::connect(addr).unwrap();
         drop(client);
-        assert!(server.await.unwrap().is_none());
+        assert!(server.join().unwrap().is_none());
     }
 
-    #[tokio::test]
-    async fn oversized_frame_rejected() {
-        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    #[test]
+    fn oversized_frame_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = tokio::spawn(async move {
-            let (mut stream, _) = listener.accept().await.unwrap();
-            read_frame(&mut stream).await
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frame(&mut stream)
         });
-        let mut client = TcpStream::connect(addr).await.unwrap();
-        client
-            .write_all(&(u32::MAX).to_le_bytes())
-            .await
-            .unwrap();
-        assert!(server.await.unwrap().is_err());
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        assert!(server.join().unwrap().is_err());
     }
 
-    #[tokio::test]
-    async fn cluster_delivers_messages_in_order() {
+    #[test]
+    fn cluster_delivers_messages_in_order() {
         let a = Counter {
             peer: Some(NodeId(1)),
             count: 100,
@@ -481,18 +523,15 @@ mod tests {
             count: 0,
             seen: Vec::new(),
         };
-        let handles = spawn_local_cluster::<Num>(vec![Box::new(a), Box::new(b)], 7).await;
+        let handles = spawn_local_cluster::<Num>(vec![Box::new(a), Box::new(b)], 7);
         // Give delivery a moment.
-        tokio::time::sleep(StdDuration::from_millis(300)).await;
+        std::thread::sleep(StdDuration::from_millis(300));
         let mut processes = Vec::new();
         for h in handles {
-            processes.push(h.stop().await);
+            processes.push(h.stop());
         }
         let b_final = processes.pop().unwrap();
-        let counter = b_final
-            .as_any()
-            .downcast_ref::<Counter>()
-            .expect("counter");
+        let counter = b_final.as_any().downcast_ref::<Counter>().expect("counter");
         assert_eq!(counter.seen, (1..=100).collect::<Vec<_>>());
     }
 }

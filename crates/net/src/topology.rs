@@ -238,10 +238,7 @@ mod tests {
     #[test]
     fn cross_rack_same_site() {
         let params = LinkParams::default();
-        let mut t = Topology::new(
-            WanMatrix::uniform(1, Dur::ZERO, Dur::micros(100)),
-            params,
-        );
+        let mut t = Topology::new(WanMatrix::uniform(1, Dur::ZERO, Dur::micros(100)), params);
         let r0 = t.add_rack(SiteId(0));
         let r1 = t.add_rack(SiteId(0));
         let a = t.add_node(r0);

@@ -90,10 +90,7 @@ impl WanMatrix {
         assert!((1..=7).contains(&n), "paper has 7 datacenters");
         let full = Self::paper_table1();
         let names = full.names[..n].to_vec();
-        let rtt = full.rtt[..n]
-            .iter()
-            .map(|row| row[..n].to_vec())
-            .collect();
+        let rtt = full.rtt[..n].iter().map(|row| row[..n].to_vec()).collect();
         WanMatrix::new(names, rtt)
     }
 
@@ -159,10 +156,7 @@ mod tests {
         assert_eq!(m.rtt(site("CA"), site("OR")), Dur::millis(20));
         assert_eq!(m.rtt(site("TK"), site("TK")), Dur::micros(130));
         // Symmetry
-        assert_eq!(
-            m.rtt(site("VA"), site("TK")),
-            m.rtt(site("TK"), site("VA"))
-        );
+        assert_eq!(m.rtt(site("VA"), site("TK")), m.rtt(site("TK"), site("VA")));
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl SuperLeafBroadcast {
     /// Whether this node currently leads the group owned by `owner` (true
     /// after winning the election triggered by `owner`'s failure).
     pub fn leads_group_of(&self, owner: NodeId) -> bool {
-        self.groups
-            .get(&owner)
-            .is_some_and(|g| g.is_leader())
+        self.groups.get(&owner).is_some_and(|g| g.is_leader())
     }
 
     /// Proposes `data` into the group owned by `owner`. Used by a successor
@@ -257,10 +255,7 @@ mod tests {
         payloads_for: impl Fn(usize) -> Vec<Bytes>,
         loss: f64,
         seed: u64,
-    ) -> (
-        Simulation<HostMsg, LossyFabric<UniformFabric>>,
-        Vec<NodeId>,
-    ) {
+    ) -> (Simulation<HostMsg, LossyFabric<UniformFabric>>, Vec<NodeId>) {
         let fabric = LossyFabric::new(UniformFabric::new(Dur::micros(25)), loss);
         let mut sim = Simulation::new(fabric, seed);
         let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
@@ -275,7 +270,10 @@ mod tests {
         (sim, members)
     }
 
-    fn delivered_keys(sim: &Simulation<HostMsg, LossyFabric<UniformFabric>>, id: NodeId) -> Vec<(NodeId, u64, Bytes)> {
+    fn delivered_keys(
+        sim: &Simulation<HostMsg, LossyFabric<UniformFabric>>,
+        id: NodeId,
+    ) -> Vec<(NodeId, u64, Bytes)> {
         let host = sim.node::<Host>(id);
         let mut keys: Vec<_> = host
             .delivered
@@ -288,12 +286,7 @@ mod tests {
 
     #[test]
     fn all_members_deliver_all_broadcasts() {
-        let (mut sim, members) = build(
-            3,
-            |i| vec![Bytes::from(format!("from-{i}"))],
-            0.0,
-            1,
-        );
+        let (mut sim, members) = build(3, |i| vec![Bytes::from(format!("from-{i}"))], 0.0, 1);
         sim.run_for(Dur::millis(50));
         let reference = delivered_keys(&sim, members[0]);
         assert_eq!(reference.len(), 3, "one broadcast per member");
@@ -308,7 +301,10 @@ mod tests {
             3,
             |i| {
                 if i == 0 {
-                    (0..10).rev().map(|k| Bytes::from(format!("m{k}"))).collect()
+                    (0..10)
+                        .rev()
+                        .map(|k| Bytes::from(format!("m{k}")))
+                        .collect()
                 } else {
                     vec![]
                 }
@@ -336,12 +332,7 @@ mod tests {
     #[test]
     fn broadcast_survives_message_loss() {
         // 10% loss: Raft retries via heartbeats until everyone delivers.
-        let (mut sim, members) = build(
-            3,
-            |i| vec![Bytes::from(format!("lossy-{i}"))],
-            0.10,
-            3,
-        );
+        let (mut sim, members) = build(3, |i| vec![Bytes::from(format!("lossy-{i}"))], 0.10, 3);
         sim.run_for(Dur::millis(500));
         let reference = delivered_keys(&sim, members[0]);
         assert_eq!(reference.len(), 3);
@@ -354,12 +345,7 @@ mod tests {
     fn survivors_agree_after_owner_crash() {
         // Node 0 broadcasts then crashes; the remaining members must agree
         // on whether its message was delivered (both-or-neither).
-        let (mut sim, members) = build(
-            5,
-            |i| vec![Bytes::from(format!("c-{i}"))],
-            0.0,
-            4,
-        );
+        let (mut sim, members) = build(5, |i| vec![Bytes::from(format!("c-{i}"))], 0.0, 4);
         sim.run_for(Dur::micros(150)); // let node 0 propose
         sim.crash(members[0]);
         sim.run_for(Dur::millis(200));
@@ -377,12 +363,7 @@ mod tests {
 
     #[test]
     fn broadcast_works_in_two_node_superleaf() {
-        let (mut sim, members) = build(
-            2,
-            |i| vec![Bytes::from(format!("duo-{i}"))],
-            0.0,
-            5,
-        );
+        let (mut sim, members) = build(2, |i| vec![Bytes::from(format!("duo-{i}"))], 0.0, 5);
         sim.run_for(Dur::millis(50));
         assert_eq!(delivered_keys(&sim, members[0]).len(), 2);
         assert_eq!(

@@ -131,10 +131,7 @@ impl RaftMsg {
             RaftMsg::RequestVote { .. } => 29,
             RaftMsg::VoteReply { .. } => 14,
             RaftMsg::AppendEntries { entries, .. } => {
-                33 + entries
-                    .iter()
-                    .map(|e| 12 + e.data.len())
-                    .sum::<usize>()
+                33 + entries.iter().map(|e| 12 + e.data.len()).sum::<usize>()
             }
             RaftMsg::AppendReply { .. } => 22,
         }
@@ -409,6 +406,7 @@ impl RaftCore {
             }
         }
         self.next_heartbeat = now; // heartbeat immediately
+
         // Commit entries from prior terms by appending a no-op in our term
         // (Raft §5.4.2). Skipped for a fresh log: there is nothing to flush.
         if !self.log.is_empty() {
@@ -755,12 +753,7 @@ mod tests {
     }
 
     /// Synchronously shuttles messages between the three peers until quiet.
-    fn pump(
-        cores: &mut [&mut RaftCore],
-        mut queue: Outbox,
-        rng: &mut SmallRng,
-        now: Time,
-    ) {
+    fn pump(cores: &mut [&mut RaftCore], mut queue: Outbox, rng: &mut SmallRng, now: Time) {
         let mut rounds = 0;
         while !queue.is_empty() {
             rounds += 1;
@@ -791,11 +784,7 @@ mod tests {
                 .unwrap_or(NodeId(0)),
             // Replies: sender is "the other" node; with three nodes and a
             // single active exchange this is unambiguous in these tests.
-            _ => cores
-                .iter()
-                .find(|c| c.me() != to)
-                .map(|c| c.me())
-                .unwrap(),
+            _ => cores.iter().find(|c| c.me() != to).map(|c| c.me()).unwrap(),
         }
     }
 
@@ -883,7 +872,7 @@ mod tests {
         b.tick(later, &mut r, &mut out);
         // b should have started an election.
         assert_eq!(b.role(), Role::Candidate);
-        let vote_reqs: Vec<_> = out.drain(..).collect();
+        let vote_reqs: Vec<_> = std::mem::take(&mut out);
         assert_eq!(vote_reqs.len(), 2);
         // c grants the vote.
         let mut replies = Outbox::new();

@@ -30,14 +30,7 @@ pub enum Route {
 /// emerge in the topology-aware implementation.
 pub trait Fabric<M: Payload> {
     /// Routes one message sent at `now` from `from` to `to`.
-    fn route(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        msg: &M,
-        now: Time,
-        rng: &mut SmallRng,
-    ) -> Route;
+    fn route(&mut self, from: NodeId, to: NodeId, msg: &M, now: Time, rng: &mut SmallRng) -> Route;
 }
 
 /// Uniform-latency fabric: every message arrives exactly `latency` later.

@@ -10,7 +10,7 @@
 //!
 //! * **Sans-IO processes** ([`Process`]): protocol logic sees only message
 //!   and timer callbacks plus a [`Context`] for recording effects. The same
-//!   state machines run on the tokio transport in `canopus-net`.
+//!   state machines run on the TCP transport in `canopus-net`.
 //! * **Virtual time** ([`Time`], [`Dur`]): nanosecond-resolution clock; a
 //!   multi-datacenter run covering minutes of protocol time executes in
 //!   milliseconds of wall time.

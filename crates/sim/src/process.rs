@@ -6,7 +6,7 @@
 //! [`Context`]. Processes never perform IO themselves; they only record
 //! intents (sends, timers, CPU charges) that the driving runtime executes.
 //! The same process code therefore runs unchanged on the deterministic
-//! simulator and on the tokio TCP driver in `canopus-net`.
+//! simulator and on the TCP driver in `canopus-net`.
 
 use std::any::Any;
 use std::fmt;
@@ -69,7 +69,7 @@ pub trait Payload: fmt::Debug + 'static {
 /// One effect recorded by a process during a callback.
 ///
 /// Effects are consumed by whichever runtime drives the process: the
-/// simulator kernel, or an external driver (e.g. the tokio TCP transport in
+/// simulator kernel, or an external driver (e.g. the TCP transport in
 /// `canopus-net`) via [`Context::detached`] / [`Context::into_effects`].
 #[derive(Debug)]
 pub enum Effect<M> {
@@ -112,7 +112,7 @@ pub struct Context<'a, M> {
 
 impl<'a, M> Context<'a, M> {
     /// Builds a context for an external (non-simulator) driver such as the
-    /// tokio TCP transport. `next_timer_id` must be a counter owned by the
+    /// TCP transport. `next_timer_id` must be a counter owned by the
     /// driver so timer ids stay unique per node lifetime.
     pub fn detached(
         now: Time,

@@ -99,9 +99,20 @@ pub enum TraceEvent<'a, M> {
 pub type Tracer<M> = Box<dyn FnMut(&TraceEvent<'_, M>)>;
 
 enum EventKind<M> {
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, token: u64, epoch: u32 },
-    Drain { node: NodeId },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: u64,
+        epoch: u32,
+    },
+    Drain {
+        node: NodeId,
+    },
 }
 
 struct EventEntry<M> {
@@ -435,8 +446,7 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
         } else {
             now
         };
-        slot.busy_until =
-            start + slot.cfg.base_msg_cost + charged + slot.cfg.per_send_cost * sends;
+        slot.busy_until = start + slot.cfg.base_msg_cost + charged + slot.cfg.per_send_cost * sends;
         let epoch = slot.epoch;
 
         for effect in effects {

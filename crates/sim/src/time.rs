@@ -203,7 +203,7 @@ impl fmt::Debug for Dur {
         let ns = self.0;
         if ns == u64::MAX {
             write!(f, "inf")
-        } else if ns >= 1_000_000_000 && ns % 1_000_000 == 0 {
+        } else if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000) {
             write!(f, "{:.3}s", ns as f64 / 1e9)
         } else if ns >= 1_000_000 {
             write!(f, "{:.3}ms", ns as f64 / 1e6)

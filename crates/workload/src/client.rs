@@ -383,7 +383,11 @@ mod tests {
         assert!(client.writes.completed() > 1000, "writes flowed");
         assert!(client.reads.completed() > 1000, "reads flowed");
         // Offered load ~20k/s over 0.4s = ~8000 requests.
-        assert!((6000..10_000).contains(&client.offered), "{}", client.offered);
+        assert!(
+            (6000..10_000).contains(&client.offered),
+            "{}",
+            client.offered
+        );
         assert!(client.writes.median().is_some());
     }
 

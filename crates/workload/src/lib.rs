@@ -17,8 +17,6 @@ pub mod client;
 pub mod dist;
 pub mod latency;
 
-pub use client::{
-    ClosedLoopClient, ClosedLoopConfig, OpenLoopClient, OpenLoopConfig, ProtocolMsg,
-};
+pub use client::{ClosedLoopClient, ClosedLoopConfig, OpenLoopClient, OpenLoopConfig, ProtocolMsg};
 pub use dist::{poisson, KeyDist};
 pub use latency::LatencyRecorder;

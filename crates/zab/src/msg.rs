@@ -279,10 +279,16 @@ mod tests {
         };
         let msgs = vec![
             ZabMsg::Forward(txn()),
-            ZabMsg::Propose { zxid: z, txn: txn() },
+            ZabMsg::Propose {
+                zxid: z,
+                txn: txn(),
+            },
             ZabMsg::Ack { zxid: z },
             ZabMsg::Commit { zxid: z },
-            ZabMsg::Inform { zxid: z, txn: txn() },
+            ZabMsg::Inform {
+                zxid: z,
+                txn: txn(),
+            },
             ZabMsg::Ping { epoch: 3 },
             ZabMsg::Election {
                 epoch: 4,

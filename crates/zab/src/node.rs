@@ -188,7 +188,10 @@ impl ZabNode {
 
     fn followers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.me;
-        self.participants().iter().copied().filter(move |&n| n != me)
+        self.participants()
+            .iter()
+            .copied()
+            .filter(move |&n| n != me)
     }
 
     fn observers(&self) -> &[NodeId] {
@@ -230,7 +233,13 @@ impl ZabNode {
             ctx.charge(self.cfg.costs.storage_per_batch);
         }
         for f in self.followers().collect::<Vec<_>>() {
-            ctx.send(f, ZabMsg::Propose { zxid, txn: txn.clone() });
+            ctx.send(
+                f,
+                ZabMsg::Propose {
+                    zxid,
+                    txn: txn.clone(),
+                },
+            );
         }
         self.next_ping = ctx.now() + self.cfg.heartbeat;
         if self.quorum() == 1 {
@@ -252,7 +261,13 @@ impl ZabNode {
             .map(|(_, t)| t.clone())
             .expect("committed txn is in the log");
         for &o in self.observers().to_vec().iter() {
-            ctx.send(o, ZabMsg::Inform { zxid, txn: txn.clone() });
+            ctx.send(
+                o,
+                ZabMsg::Inform {
+                    zxid,
+                    txn: txn.clone(),
+                },
+            );
         }
         self.apply_committed(ctx);
     }
@@ -637,7 +652,11 @@ mod tests {
         impl_process_any!();
     }
 
-    fn build(n: u32, participants: usize, seed: u64) -> (Simulation<ZabMsg, UniformFabric>, Vec<NodeId>) {
+    fn build(
+        n: u32,
+        participants: usize,
+        seed: u64,
+    ) -> (Simulation<ZabMsg, UniformFabric>, Vec<NodeId>) {
         let mut sim = Simulation::new(UniformFabric::new(Dur::micros(100)), seed);
         let ensemble: Vec<NodeId> = (0..n).map(NodeId).collect();
         let cfg = ZabConfig {
@@ -663,7 +682,9 @@ mod tests {
         // Client talks to a follower; write must round-trip via the leader.
         let client = sim.add_node(Box::new(TestClient {
             target: NodeId(1),
-            ops: (0..5).map(|k| (Dur::millis(k + 1), put(k, k as u8))).collect(),
+            ops: (0..5)
+                .map(|k| (Dur::millis(k + 1), put(k, k as u8)))
+                .collect(),
             cursor: 0,
             replies: Vec::new(),
         }));
@@ -708,7 +729,12 @@ mod tests {
             sim.add_node(Box::new(TestClient {
                 target,
                 ops: (0..6)
-                    .map(|k| (Dur::micros(800 * k + i as u64 * 97), put(i as u64 * 10 + k, 1)))
+                    .map(|k| {
+                        (
+                            Dur::micros(800 * k + i as u64 * 97),
+                            put(i as u64 * 10 + k, 1),
+                        )
+                    })
                     .collect(),
                 cursor: 0,
                 replies: Vec::new(),
@@ -727,7 +753,9 @@ mod tests {
         let (mut sim, ensemble) = build(5, 5, 4);
         let client = sim.add_node(Box::new(TestClient {
             target: NodeId(2),
-            ops: (0..20).map(|k| (Dur::millis(5 * k + 1), put(k, 1))).collect(),
+            ops: (0..20)
+                .map(|k| (Dur::millis(5 * k + 1), put(k, 1)))
+                .collect(),
             cursor: 0,
             replies: Vec::new(),
         }));

@@ -14,9 +14,7 @@ use bytes::Bytes;
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode, EmulationTable, LotShape};
 use canopus_kv::{ClientRequest, Op};
 use canopus_net::{ClosFabric, LinkParams, Topology, WanMatrix};
-use canopus_sim::{
-    impl_process_any, Context, Dur, NodeId, Process, Simulation, Timer,
-};
+use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Simulation, Timer};
 
 /// A client that appends ledger records at a steady rate. Each record is a
 /// `Put` to a fresh key derived from (site, sequence) — an append-only
@@ -83,7 +81,11 @@ fn main() {
     let mut topo = Topology::multi_dc(wan, PER_DC, LinkParams::default());
     let shape = LotShape::flat(SITES as u16);
     let membership: Vec<Vec<NodeId>> = (0..SITES)
-        .map(|s| (0..PER_DC).map(|i| NodeId((s * PER_DC + i) as u32)).collect())
+        .map(|s| {
+            (0..PER_DC)
+                .map(|i| NodeId((s * PER_DC + i) as u32))
+                .collect()
+        })
         .collect();
     let table = EmulationTable::new(shape, membership);
 

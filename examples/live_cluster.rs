@@ -1,28 +1,30 @@
 //! A live Canopus cluster over real TCP sockets.
 //!
 //! The same `CanopusNode` state machines that drive every simulation in
-//! this repository here run unmodified on the tokio transport
+//! this repository here run unmodified on the thread-based TCP transport
 //! (`canopus_net::tcp`): six nodes in two super-leaves listen on loopback
 //! TCP, a TCP client (registered in the peer map as node 6) submits writes
 //! and a read through real sockets and receives real replies, and the
 //! nodes' commit digests are compared at shutdown.
 //!
-//! Run with: `cargo run --example live_cluster -p canopus-harness`
+//! Run with: `cargo run --example live_cluster`
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode, EmulationTable, LotShape};
 use canopus_kv::{ClientRequest, Op, OpResult};
 use canopus_net::tcp::{read_frame, run_node, write_frame, PeerMap};
 use canopus_net::wire::Wire;
-use canopus_sim::NodeId;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::oneshot;
+use canopus_raft::RaftConfig;
+use canopus_sim::{Dur, NodeId};
 
 const NODES: u32 = 6;
 const CLIENT_ID: NodeId = NodeId(6);
 
-#[tokio::main(flavor = "multi_thread")]
-async fn main() {
+fn main() {
     let table = EmulationTable::new(
         LotShape::flat(2),
         vec![
@@ -30,19 +32,31 @@ async fn main() {
             vec![NodeId(3), NodeId(4), NodeId(5)],
         ],
     );
-    let mut cfg = CanopusConfig::default();
-    cfg.record_log = false;
+    // The simulator-tuned defaults (25 ms failure timeout, 10–20 ms Raft
+    // elections) assume a deterministic scheduler; on a real OS a loaded
+    // box can deschedule a node thread longer than that and trigger false
+    // failovers. Relax the real-time-sensitive timeouts for live sockets.
+    let cfg = CanopusConfig {
+        record_log: false,
+        failure_timeout: Dur::secs(2),
+        raft: RaftConfig {
+            heartbeat_interval: Dur::millis(50),
+            election_timeout_min: Dur::millis(300),
+            election_timeout_max: Dur::millis(600),
+        },
+        ..CanopusConfig::default()
+    };
 
     // Bind every listener up front so the peer map is complete, including
     // the client's own inbound socket (node 6 in the message namespace).
     let mut listeners = Vec::new();
     let mut peers = PeerMap::new();
     for i in 0..NODES {
-        let l = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
         peers.insert(NodeId(i), l.local_addr().expect("addr"));
         listeners.push(l);
     }
-    let client_listener = TcpListener::bind("127.0.0.1:0").await.expect("bind");
+    let client_listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     peers.insert(CLIENT_ID, client_listener.local_addr().expect("addr"));
 
     println!("spawning {NODES} Canopus nodes on loopback TCP ...");
@@ -52,48 +66,38 @@ async fn main() {
         let id = NodeId(i as u32);
         println!("  node {id} on {}", peers.get(id).unwrap());
         let node = CanopusNode::new(id, table.clone(), cfg.clone(), 42);
-        let (tx, rx) = oneshot::channel();
+        let (tx, rx) = mpsc::channel();
         shutdowns.push(tx);
-        handles.push(tokio::spawn(run_node::<CanopusMsg>(
-            id,
-            Box::new(node),
-            listener,
-            peers.clone(),
-            rx,
-            42 + i as u64,
-        )));
+        let peer_map = peers.clone();
+        handles.push(std::thread::spawn(move || {
+            run_node::<CanopusMsg>(id, Box::new(node), listener, peer_map, rx, 42 + i as u64)
+        }));
     }
 
     // Reply sink: accept connections and collect replies addressed to us.
-    let (reply_tx, mut reply_rx) = tokio::sync::mpsc::channel::<CanopusMsg>(64);
-    tokio::spawn(async move {
-        loop {
-            let Ok((mut stream, _)) = client_listener.accept().await else {
-                return;
-            };
-            let tx = reply_tx.clone();
-            tokio::spawn(async move {
-                // Handshake frame first (sender's node id), then messages.
-                let _ = read_frame(&mut stream).await;
-                while let Ok(Some(frame)) = read_frame(&mut stream).await {
-                    if let Ok(msg) = CanopusMsg::from_bytes(frame) {
-                        if tx.send(msg).await.is_err() {
-                            return;
-                        }
+    let (reply_tx, reply_rx) = mpsc::channel::<CanopusMsg>();
+    std::thread::spawn(move || loop {
+        let Ok((mut stream, _)) = client_listener.accept() else {
+            return;
+        };
+        let tx = reply_tx.clone();
+        std::thread::spawn(move || {
+            // Handshake frame first (sender's node id), then messages.
+            let _ = read_frame(&mut stream);
+            while let Ok(Some(frame)) = read_frame(&mut stream) {
+                if let Ok(msg) = CanopusMsg::from_bytes(frame) {
+                    if tx.send(msg).is_err() {
+                        return;
                     }
                 }
-            });
-        }
+            }
+        });
     });
 
     // Submit writes + one read to node 0 over a raw TCP connection.
-    let mut stream = TcpStream::connect(peers.get(NodeId(0)).unwrap())
-        .await
-        .expect("connect");
+    let mut stream = TcpStream::connect(peers.get(NodeId(0)).unwrap()).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
-    write_frame(&mut stream, &CLIENT_ID.to_bytes())
-        .await
-        .expect("handshake");
+    write_frame(&mut stream, &CLIENT_ID.to_bytes()).expect("handshake");
 
     const WRITES: u64 = 10;
     println!("\nsubmitting {WRITES} writes and one read via TCP ...");
@@ -106,48 +110,50 @@ async fn main() {
                 value: Bytes::from(format!("value-{k}").into_bytes()),
             },
         });
-        write_frame(&mut stream, &req.to_bytes()).await.expect("send");
+        write_frame(&mut stream, &req.to_bytes()).expect("send");
     }
     let read = CanopusMsg::Request(ClientRequest {
         client: CLIENT_ID,
         op_id: WRITES,
         op: Op::Get { key: 3 },
     });
-    write_frame(&mut stream, &read.to_bytes())
-        .await
-        .expect("send");
+    write_frame(&mut stream, &read.to_bytes()).expect("send");
 
     // Await all replies (with a timeout guard).
     let mut write_acks = 0u64;
     let mut read_value: Option<Option<Bytes>> = None;
-    let deadline = tokio::time::sleep(std::time::Duration::from_secs(15));
-    tokio::pin!(deadline);
+    let deadline = Instant::now() + Duration::from_secs(15);
     while write_acks < WRITES || read_value.is_none() {
-        tokio::select! {
-            _ = &mut deadline => {
+        let now = Instant::now();
+        if now >= deadline {
+            eprintln!("timed out waiting for replies");
+            break;
+        }
+        match reply_rx.recv_timeout(deadline - now) {
+            Ok(CanopusMsg::Reply(reply)) => match reply.result {
+                OpResult::Written => write_acks += 1,
+                OpResult::Value(v) => read_value = Some(v),
+                OpResult::Batch => {}
+            },
+            Ok(_) => {}
+            Err(_) => {
                 eprintln!("timed out waiting for replies");
                 break;
-            }
-            Some(msg) = reply_rx.recv() => {
-                if let CanopusMsg::Reply(reply) = msg {
-                    match reply.result {
-                        OpResult::Written => write_acks += 1,
-                        OpResult::Value(v) => read_value = Some(v),
-                        OpResult::Batch => {}
-                    }
-                }
             }
         }
     }
     println!("  write acks: {write_acks}/{WRITES}");
     match &read_value {
-        Some(Some(v)) => println!(
-            "  read(key=3) -> {:?}",
-            String::from_utf8_lossy(v)
-        ),
+        Some(Some(v)) => println!("  read(key=3) -> {:?}", String::from_utf8_lossy(v)),
         Some(None) => println!("  read(key=3) -> <absent>"),
         None => println!("  read(key=3) -> <no reply>"),
     }
+
+    // Replies arrive as soon as the client's own super-leaf commits; the
+    // remote super-leaf finishes the cycle one exchange later. Give the
+    // final cycle time to close everywhere before pulling the plug, or the
+    // strict digest comparison below races against that last hop.
+    std::thread::sleep(Duration::from_millis(500));
 
     // Shut the cluster down and compare final states.
     println!("\nshutting down and comparing commit digests ...");
@@ -156,7 +162,7 @@ async fn main() {
     }
     let mut digests = Vec::new();
     for (i, h) in handles.into_iter().enumerate() {
-        let process = h.await.expect("join");
+        let process = h.join().expect("join");
         let node = process
             .as_any()
             .downcast_ref::<CanopusNode>()

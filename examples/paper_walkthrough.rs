@@ -55,14 +55,12 @@ fn main() {
                         state.cycle,
                         state.sets.len(),
                     )),
-                    CanopusMsg::Request(_) => Some(format!(
-                        "{at}  client -> {}  write request",
-                        name(*to),
-                    )),
-                    CanopusMsg::Reply(_) => Some(format!(
-                        "{at}  {} -> client  committed reply",
-                        name(*from),
-                    )),
+                    CanopusMsg::Request(_) => {
+                        Some(format!("{at}  client -> {}  write request", name(*to),))
+                    }
+                    CanopusMsg::Reply(_) => {
+                        Some(format!("{at}  {} -> client  committed reply", name(*from),))
+                    }
                     _ => None,
                 };
                 if let Some(line) = line {

@@ -86,7 +86,12 @@ fn main() {
     }
 
     println!("\n== first committed cycles at node 0 ==");
-    for cc in sim.node::<CanopusNode>(NodeId(0)).committed_log().iter().take(4) {
+    for cc in sim
+        .node::<CanopusNode>(NodeId(0))
+        .committed_log()
+        .iter()
+        .take(4)
+    {
         let ops: Vec<String> = cc
             .sets
             .iter()

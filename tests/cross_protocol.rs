@@ -73,7 +73,9 @@ fn epaxos_cluster_converges_under_load() {
         ..EpaxosConfig::default()
     };
     let mut cluster = build_epaxos(&spec, &load, cfg, 9);
-    cluster.sim.run_for(load.warmup + load.duration + Dur::millis(100));
+    cluster
+        .sim
+        .run_for(load.warmup + load.duration + Dur::millis(100));
     let w0 = cluster.sim.node::<EpaxosNode>(cluster.nodes[0]).stats();
     assert!(w0.executed_weight > 0);
     assert!(w0.fast_path > 0, "synthetic load takes the fast path");
@@ -89,7 +91,9 @@ fn zab_observers_scale_reads_leader_caps_writes() {
         ..ZabConfig::default()
     };
     let mut cluster = build_zab(&spec, &load, cfg, 13);
-    cluster.sim.run_for(load.warmup + load.duration + Dur::millis(200));
+    cluster
+        .sim
+        .run_for(load.warmup + load.duration + Dur::millis(200));
     // All writes flow through node 0 (the leader); reads are served all over.
     let mut reads_served_away_from_leader = 0;
     for &n in &cluster.nodes[1..] {

@@ -2,7 +2,9 @@
 //!
 //! Random LOT shapes, workloads, and seeds; the invariants checked are the
 //! paper's agreement, FIFO, and nontriviality properties plus emulation-
-//! table convergence and whole-stack determinism.
+//! table convergence and whole-stack determinism. The randomized cases are
+//! driven by a seeded deterministic generator (proptest is unavailable in
+//! this offline build), so every CI run explores the identical corpus.
 
 use bytes::Bytes;
 use canopus::{
@@ -12,7 +14,8 @@ use canopus_kv::{check_agreement, ClientRequest, Op};
 use canopus_sim::{
     impl_process_any, Context, Dur, NodeId, Process, Simulation, Timer, UniformFabric,
 };
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// A deterministic scripted writer used inside property tests.
 struct Writer {
@@ -123,41 +126,52 @@ fn run_cluster(
     (histories, digests, total_writes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, // each case runs a full cluster simulation
-        .. ProptestConfig::default()
-    })]
+/// Random per-writer scripts: 1..4 writers, each 0..8 writes of
+/// (delay 100..3000 µs, key 0..50).
+fn arb_scripts(rng: &mut SmallRng) -> Vec<Vec<(u64, u64)>> {
+    let writers = rng.gen_range(1usize..4);
+    (0..writers)
+        .map(|_| {
+            let n = rng.gen_range(0usize..8);
+            (0..n)
+                .map(|_| (rng.gen_range(100u64..3000), rng.gen_range(0u64..50)))
+                .collect()
+        })
+        .collect()
+}
 
-    /// Agreement: every node commits the identical sequence, for random
-    /// shapes, write schedules, and seeds (paper §6, Theorem 1).
-    #[test]
-    fn prop_agreement_across_shapes(
-        superleaves in 1usize..4,
-        per_leaf in 1usize..4,
-        pipelined in any::<bool>(),
-        seed in any::<u64>(),
-        scripts in proptest::collection::vec(
-            proptest::collection::vec((100u64..3000, 0u64..50), 0..8),
-            1..4,
-        ),
-    ) {
-        let (histories, _, total) = run_cluster(
-            superleaves, per_leaf, pipelined, scripts, seed, 400,
+/// Agreement: every node commits the identical sequence, for random
+/// shapes, write schedules, and seeds (paper §6, Theorem 1).
+#[test]
+fn prop_agreement_across_shapes() {
+    let mut rng = SmallRng::seed_from_u64(0xCA_0001);
+    for case in 0..12 {
+        // each case runs a full cluster simulation
+        let superleaves = rng.gen_range(1usize..4);
+        let per_leaf = rng.gen_range(1usize..4);
+        let pipelined = rng.gen::<bool>();
+        let seed = rng.gen::<u64>();
+        let scripts = arb_scripts(&mut rng);
+        let (histories, _, total) =
+            run_cluster(superleaves, per_leaf, pipelined, scripts, seed, 400);
+        assert!(
+            check_agreement(&histories).is_ok(),
+            "case {case}: divergence detected"
         );
-        prop_assert!(check_agreement(&histories).is_ok(), "divergence detected");
         // Nontriviality + liveness: every write eventually committed at
         // node 0 (uniform fabric, no failures).
-        prop_assert_eq!(histories[0].len(), total, "missing commits");
+        assert_eq!(histories[0].len(), total, "case {case}: missing commits");
     }
+}
 
-    /// FIFO per client: one client's ops commit in issue order (§6).
-    #[test]
-    fn prop_client_fifo_in_commit_order(
-        per_leaf in 2usize..4,
-        seed in any::<u64>(),
-        n_writes in 1usize..12,
-    ) {
+/// FIFO per client: one client's ops commit in issue order (§6).
+#[test]
+fn prop_client_fifo_in_commit_order() {
+    let mut rng = SmallRng::seed_from_u64(0xCA_0002);
+    for case in 0..12 {
+        let per_leaf = rng.gen_range(2usize..4);
+        let seed = rng.gen::<u64>();
+        let n_writes = rng.gen_range(1usize..12);
         let script: Vec<(u64, u64)> = (0..n_writes).map(|k| (200, k as u64)).collect();
         let (histories, _, _) = run_cluster(2, per_leaf, false, vec![script], seed, 400);
         let h = &histories[0];
@@ -165,39 +179,44 @@ proptest! {
         for &(client, op_id) in h {
             if client == (2 * per_leaf) as u32 {
                 if let Some(prev) = last {
-                    prop_assert!(op_id > prev, "client ops reordered");
+                    assert!(op_id > prev, "case {case}: client ops reordered");
                 }
                 last = Some(op_id);
             }
         }
-        prop_assert_eq!(h.len(), n_writes);
-    }
-
-    /// Determinism: identical seeds produce identical digests.
-    #[test]
-    fn prop_deterministic_replay(seed in any::<u64>()) {
-        let script = vec![vec![(500, 1), (700, 2), (900, 3)]];
-        let a = run_cluster(2, 3, true, script.clone(), seed, 300);
-        let b = run_cluster(2, 3, true, script, seed, 300);
-        prop_assert_eq!(a.1, b.1, "digests differ across identical runs");
-        prop_assert_eq!(a.0, b.0, "histories differ across identical runs");
+        assert_eq!(h.len(), n_writes, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
+/// Determinism: identical seeds produce identical digests.
+#[test]
+fn prop_deterministic_replay() {
+    let mut rng = SmallRng::seed_from_u64(0xCA_0003);
+    for case in 0..6 {
+        let seed = rng.gen::<u64>();
+        let script = vec![vec![(500, 1), (700, 2), (900, 3)]];
+        let a = run_cluster(2, 3, true, script.clone(), seed, 300);
+        let b = run_cluster(2, 3, true, script, seed, 300);
+        assert_eq!(
+            a.1, b.1,
+            "case {case}: digests differ across identical runs"
+        );
+        assert_eq!(
+            a.0, b.0,
+            "case {case}: histories differ across identical runs"
+        );
+    }
+}
 
-    /// The merge operator is order-insensitive and weight-preserving for
-    /// arbitrary proposal numbers (determinism of the total order).
-    #[test]
-    fn prop_merge_insensitive_to_input_order(
-        numbers in proptest::collection::vec(any::<u64>(), 2..9),
-        perm_seed in any::<u64>(),
-    ) {
-        use canopus::{RequestSet, VnodeId, VnodeState, CycleId};
+/// The merge operator is order-insensitive and weight-preserving for
+/// arbitrary proposal numbers (determinism of the total order).
+#[test]
+fn prop_merge_insensitive_to_input_order() {
+    use canopus::{CycleId, RequestSet, VnodeId, VnodeState};
+    let mut rng = SmallRng::seed_from_u64(0xCA_0004);
+    for _case in 0..24 {
+        let numbers: Vec<u64> = (0..rng.gen_range(2usize..9)).map(|_| rng.gen()).collect();
+        let perm_seed = rng.gen::<u64>();
         let children: Vec<VnodeState> = numbers
             .iter()
             .enumerate()
@@ -222,6 +241,6 @@ proptest! {
             shuffled.swap(i, j);
         }
         let merged_rev = VnodeState::merge(VnodeId(vec![0]), shuffled);
-        prop_assert_eq!(merged_fwd, merged_rev);
+        assert_eq!(merged_fwd, merged_rev);
     }
 }
