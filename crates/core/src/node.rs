@@ -669,6 +669,19 @@ impl CanopusNode {
                 if c <= self.last_committed {
                     return;
                 }
+                // A tombstoned member's later proposals must not resurrect
+                // it. The tombstone is totally ordered with the member's
+                // proposals inside its broadcast-group log, so every
+                // survivor draws the identical line: proposals delivered
+                // *before* the tombstone count (the designed boundary
+                // window), anything after — a restarted zombie replaying
+                // forward, an isolated node catching up — is dropped until
+                // a `Rejoin` marker lifts the exclusion. Without this, a
+                // revived proposal races into live round-1 maps at some
+                // survivors but not others and diverges the merge order.
+                if self.tombstoned.contains_key(&origin) {
+                    return;
+                }
                 self.note_cycle_seen(c);
                 let now = ctx.now();
                 let entry = self.cycle_entry(c);

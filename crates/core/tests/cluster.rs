@@ -14,7 +14,8 @@ use canopus_kv::{
     ReadObs, ReplyEvent, WriteObs,
 };
 use canopus_sim::{
-    impl_process_any, Context, Dur, NodeId, Process, Simulation, Time, Timer, UniformFabric,
+    impl_process_any, Context, Dur, LossyFabric, NodeId, PartitionableFabric, Process, Simulation,
+    Time, Timer, UniformFabric,
 };
 
 // ---------------------------------------------------------------------
@@ -83,9 +84,22 @@ impl Process<CanopusMsg> for ScriptClient {
 // Cluster builder
 // ---------------------------------------------------------------------
 
+/// The same composed fault-injection fabric the harness `Cluster` uses,
+/// over the uniform-latency fabric these protocol-level tests want.
+type TestFabric = PartitionableFabric<LossyFabric<UniformFabric>>;
+
 struct Cluster {
-    sim: Simulation<CanopusMsg, UniformFabric>,
+    sim: Simulation<CanopusMsg, TestFabric>,
     nodes: Vec<NodeId>,
+}
+
+impl Cluster {
+    /// Fault-injection access, mirroring `canopus_harness::Cluster::fabric_mut`
+    /// — partition setups go through this passthrough instead of reaching
+    /// into `Simulation` internals.
+    fn fabric_mut(&mut self) -> &mut TestFabric {
+        self.sim.fabric_mut()
+    }
 }
 
 fn build_cluster(shape: LotShape, per_leaf: usize, cfg: &CanopusConfig, seed: u64) -> Cluster {
@@ -98,7 +112,9 @@ fn build_cluster(shape: LotShape, per_leaf: usize, cfg: &CanopusConfig, seed: u6
         membership.push(members);
     }
     let table = EmulationTable::new(shape, membership);
-    let mut sim = Simulation::new(UniformFabric::new(Dur::micros(50)), seed);
+    let fabric =
+        PartitionableFabric::new(LossyFabric::new(UniformFabric::new(Dur::micros(50)), 0.0));
+    let mut sim = Simulation::new(fabric, seed);
     let mut nodes = Vec::new();
     for i in 0..next {
         let node = CanopusNode::new(NodeId(i), table.clone(), cfg.clone(), seed ^ 0x9e37);
@@ -491,6 +507,81 @@ fn superleaf_failure_stalls_without_divergence() {
                 })
                 .collect()
         })
+        .collect();
+    assert!(check_agreement(&survivors).is_ok());
+}
+
+#[test]
+fn superleaf_partition_stalls_then_recovers_after_heal() {
+    let cfg = CanopusConfig {
+        fetch_timeout: Dur::millis(20),
+        ..CanopusConfig::default()
+    };
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 21);
+    let script: Vec<(Dur, Op)> = (0..60)
+        .map(|k| (Dur::millis(2 * k + 1), put(k, k as u8)))
+        .collect();
+    let client = add_client(&mut cluster, NodeId(0), script);
+    cluster.sim.run_for(Dur::millis(20));
+
+    // Cut the two super-leaves apart through the fabric passthrough.
+    let leaf0: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let leaf1: Vec<NodeId> = (3..6).map(NodeId).collect();
+    cluster.fabric_mut().cut_groups(&leaf0, &leaf1);
+    cluster.sim.run_for(Dur::millis(150));
+    let stalled_at = stats_of(&cluster, NodeId(0)).committed_cycles;
+    cluster.sim.run_for(Dur::millis(150));
+    // Liveness is lost while the partition holds (§3.3: stall, not
+    // diverge)…
+    assert_eq!(
+        stats_of(&cluster, NodeId(0)).committed_cycles,
+        stalled_at,
+        "no cycle may complete across a super-leaf partition"
+    );
+    assert!(check_agreement(&commit_histories(&cluster)).is_ok());
+
+    // …and restored once the partition heals: every write completes.
+    cluster.fabric_mut().heal_all();
+    cluster.sim.run_for(Dur::millis(600));
+    let c = cluster.sim.node::<ScriptClient>(client);
+    assert_eq!(c.replies.len(), 60, "all writes commit after healing");
+    assert!(check_agreement(&commit_histories(&cluster)).is_ok());
+}
+
+#[test]
+fn intra_leaf_isolation_excludes_member_and_consensus_continues() {
+    let cfg = CanopusConfig {
+        failure_timeout: Dur::millis(15),
+        fetch_timeout: Dur::millis(40),
+        ..CanopusConfig::default()
+    };
+    let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 22);
+    let script: Vec<(Dur, Op)> = (0..40)
+        .map(|k| (Dur::millis(2 * k + 1), put(k, k as u8)))
+        .collect();
+    let client = add_client(&mut cluster, NodeId(0), script);
+    cluster.sim.run_for(Dur::millis(10));
+    // Isolate node 1 (no crash: the process stays alive but unreachable).
+    cluster.fabric_mut().isolate(NodeId(1));
+    cluster.sim.run_for(Dur::millis(400));
+
+    // The survivors tombstone the silent member and keep committing.
+    let c = cluster.sim.node::<ScriptClient>(client);
+    assert_eq!(c.replies.len(), 40, "writes complete despite isolation");
+    for &n in cluster.nodes.iter().filter(|&&n| n != NodeId(1)) {
+        let node = cluster.sim.node::<CanopusNode>(n);
+        assert_eq!(
+            node.emulation_table().superleaf_of(NodeId(1)),
+            None,
+            "{n} still lists the isolated node"
+        );
+    }
+    // Survivor histories agree (the isolated node is merely behind).
+    let survivors: Vec<Vec<(u64, u32, u64)>> = commit_histories(&cluster)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, h)| h)
         .collect();
     assert!(check_agreement(&survivors).is_ok());
 }

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use canopus_kv::{ClientReply, CostModel, Key, KvStore, Op, OpResult, TimedOp};
-use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Timer};
+use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
 
 use crate::graph::{execution_order, GraphNode};
 use crate::msg::{CmdBatch, EpaxosMsg, InstanceId};
@@ -100,8 +100,9 @@ pub struct EpaxosNode {
     blocked: BTreeMap<InstanceId, GraphNode>,
     store: KvStore,
     stats: EpaxosStats,
-    /// Per-key write order (client, op_id), for cross-replica checks.
-    write_log: BTreeMap<Key, Vec<(NodeId, u64)>>,
+    /// Per-key write order with local execution times, for cross-replica
+    /// and linearizability checks.
+    write_log: BTreeMap<Key, Vec<(NodeId, u64, Time)>>,
 }
 
 impl EpaxosNode {
@@ -145,8 +146,21 @@ impl EpaxosNode {
 
     /// Per-key write order, for consistency checks (EPaxos guarantees
     /// identical order only for interfering commands, so cross-replica
-    /// agreement is per key, not over the whole sequence).
-    pub fn write_log(&self) -> &BTreeMap<Key, Vec<(NodeId, u64)>> {
+    /// agreement is per key, not over the whole sequence). Builds a fresh
+    /// map with the per-replica execution times stripped (they differ
+    /// across replicas and would defeat equality checks) — cold-path only;
+    /// hot consumers should use [`Self::write_log_timed`].
+    pub fn write_log(&self) -> BTreeMap<Key, Vec<(NodeId, u64)>> {
+        self.write_log
+            .iter()
+            .map(|(&k, v)| (k, v.iter().map(|&(c, id, _)| (c, id)).collect()))
+            .collect()
+    }
+
+    /// Per-key write order with this replica's execution times (the chaos
+    /// verdict uses the earliest time any replica executed a version as its
+    /// visibility lower bound).
+    pub fn write_log_timed(&self) -> &BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
         &self.write_log
     }
 
@@ -382,10 +396,11 @@ impl EpaxosNode {
                 Op::Put { key, value } => {
                     self.store.put(*key, value.clone());
                     if self.cfg.record_log {
-                        self.write_log
-                            .entry(*key)
-                            .or_default()
-                            .push((op.req.client, op.req.op_id));
+                        self.write_log.entry(*key).or_default().push((
+                            op.req.client,
+                            op.req.op_id,
+                            ctx.now(),
+                        ));
                     }
                 }
                 Op::Get { key } => {

@@ -4,26 +4,116 @@
 //! Per the paper's client model (§8.1), every protocol node has clients in
 //! its own rack/datacenter; we aggregate them into one open-loop Poisson
 //! client process per node, splitting the offered load evenly.
+//!
+//! Every cluster is built over the composed fault-injection fabric
+//! [`ChaosFabric`] — a [`PartitionableFabric`] over a [`LossyFabric`] over
+//! the Clos topology — so the nemesis engine ([`canopus_sim::fault`]) can
+//! partition, impair, and heal any deployment mid-run. With no faults
+//! installed the decorators are pass-through and the event schedule is
+//! identical to the bare [`ClosFabric`].
+
+use std::collections::BTreeSet;
 
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode, CycleTrigger, EmulationTable, LotShape};
 use canopus_epaxos::{EpaxosConfig, EpaxosMsg, EpaxosNode};
 use canopus_net::ClosFabric;
-use canopus_sim::{Dur, NodeConfig, NodeId, Payload, Process, Simulation};
+use canopus_sim::fault::{FaultAction, FaultPlan, NemesisDriver};
+use canopus_sim::{
+    impl_process_any, Dur, LossyFabric, NodeConfig, NodeId, PartitionableFabric, Payload, Process,
+    Simulation, Time,
+};
 use canopus_workload::{OpenLoopClient, OpenLoopConfig, ProtocolMsg};
 
 use canopus_zab::{ZabConfig, ZabMsg, ZabNode};
 
+use crate::raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode};
 use crate::spec::{DeploymentSpec, LoadSpec, TopoSpec};
 
-/// A built cluster: the simulation, the protocol node ids, and the client
-/// process ids (parallel to the node list).
+/// The default fabric of every built cluster: partitions over loss over
+/// the Clos topology.
+pub type ChaosFabric = PartitionableFabric<LossyFabric<ClosFabric>>;
+
+/// Builds the replacement process when the nemesis restarts a crashed
+/// node. Receives the crashed process when the kernel still holds it, so
+/// protocols with durable state can model recovery.
+pub type RestartFactory<M> =
+    Box<dyn FnMut(NodeId, Option<Box<dyn Process<M>>>) -> Box<dyn Process<M>>>;
+
+/// A process that ignores every message: stands in for a replica whose
+/// protocol has no crash-recovery path (EPaxos, whose paper-scoped
+/// implementation is failure-free), so a "restarted" node behaves as
+/// crash-stop instead of silently corrupting quorum intersection.
+pub struct SilentNode<M> {
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> Default for SilentNode<M> {
+    fn default() -> Self {
+        SilentNode {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M: Payload> Process<M> for SilentNode<M> {
+    fn on_message(&mut self, _from: NodeId, _msg: M, _ctx: &mut canopus_sim::Context<'_, M>) {}
+    impl_process_any!();
+}
+
+/// A built cluster: the simulation, the protocol node ids, the client
+/// process ids (parallel to the node list), and the restart policy the
+/// nemesis uses when a fault plan revives a crashed node.
 pub struct Cluster<M: Payload> {
     /// The simulation, ready to run.
-    pub sim: Simulation<M, ClosFabric>,
+    pub sim: Simulation<M, ChaosFabric>,
     /// Protocol node ids (dense, starting at 0).
     pub nodes: Vec<NodeId>,
     /// One aggregated client per node, in node order.
     pub clients: Vec<NodeId>,
+    restart_factory: RestartFactory<M>,
+    ever_crashed: BTreeSet<NodeId>,
+}
+
+impl<M: Payload> Cluster<M> {
+    /// Mutable access to the fault-injection fabric — the supported way
+    /// for tests to install partitions, loss, and isolation, instead of
+    /// reaching through `Simulation` internals.
+    pub fn fabric_mut(&mut self) -> &mut ChaosFabric {
+        self.sim.fabric_mut()
+    }
+
+    /// Immutable access to the fault-injection fabric.
+    pub fn fabric(&self) -> &ChaosFabric {
+        self.sim.fabric()
+    }
+
+    /// Applies `plan` while running the simulation for `horizon` of
+    /// virtual time from now, restarting crashed nodes through the
+    /// cluster's per-protocol restart policy. Returns the concrete action
+    /// timeline that was applied.
+    pub fn apply_plan(&mut self, plan: &FaultPlan, horizon: Dur) -> Vec<(Time, FaultAction)> {
+        let mut driver = NemesisDriver::new(plan, self.sim.now(), horizon);
+        let until = self.sim.now() + horizon;
+        driver.run(&mut self.sim, until, &mut *self.restart_factory);
+        self.ever_crashed
+            .extend(driver.ever_crashed().iter().copied());
+        driver.applied().to_vec()
+    }
+
+    /// Nodes the nemesis has crashed at least once.
+    pub fn ever_crashed(&self) -> &BTreeSet<NodeId> {
+        &self.ever_crashed
+    }
+
+    /// Protocol nodes that are alive and were never crashed — the set the
+    /// chaos verdict holds to the full safety and convergence bar.
+    pub fn trusted_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.sim.is_alive(n) && !self.ever_crashed.contains(&n))
+            .collect()
+    }
 }
 
 /// Tuning knobs common to all protocol builders.
@@ -36,17 +126,19 @@ fn client_node_config() -> NodeConfig {
     }
 }
 
-fn build_generic<M, F>(
+/// Builds a cluster from explicit node, client, and restart factories —
+/// the generic assembly the per-protocol builders and the chaos harness
+/// share. `make_client(i, target)` builds the client co-located with node
+/// `i`.
+pub fn build_custom<M>(
     spec: &DeploymentSpec,
-    load: &LoadSpec,
     seed: u64,
-    mut make_node: F,
+    mut make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
+    mut make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<M>>,
+    restart_factory: RestartFactory<M>,
 ) -> Cluster<M>
 where
     M: Payload,
-    OpenLoopClient<M>: Process<M>,
-    M: ProtocolMsg,
-    F: FnMut(NodeId) -> Box<dyn Process<M>>,
 {
     let mut topo = spec.build_topology();
     let n = spec.node_count();
@@ -56,7 +148,7 @@ where
         let rack = topo.rack_of(NodeId(i as u32));
         client_slots.push(topo.add_node(rack));
     }
-    let fabric = ClosFabric::new(topo);
+    let fabric = PartitionableFabric::new(LossyFabric::new(ClosFabric::new(topo), 0.0));
     let mut sim = Simulation::new(fabric, seed);
     let mut nodes = Vec::with_capacity(n);
     for i in 0..n {
@@ -65,17 +157,8 @@ where
         nodes.push(id);
     }
     let mut clients = Vec::with_capacity(n);
-    let per_client_rate = load.total_rate / n as f64;
     for (i, &slot) in client_slots.iter().enumerate() {
-        let cfg = OpenLoopConfig {
-            rate_per_sec: per_client_rate,
-            write_ratio: load.write_ratio,
-            tick: Dur::millis(1),
-            op_bytes: 16,
-            warmup: load.warmup,
-        };
-        let client = OpenLoopClient::<M>::new(nodes[i], cfg, seed ^ (0xC11E47 + i as u64));
-        let id = sim.add_node_with(Box::new(client), client_node_config());
+        let id = sim.add_node_with(make_client(i, nodes[i]), client_node_config());
         assert_eq!(id, slot, "client ids must match topology");
         clients.push(id);
     }
@@ -83,6 +166,35 @@ where
         sim,
         nodes,
         clients,
+        restart_factory,
+        ever_crashed: BTreeSet::new(),
+    }
+}
+
+fn open_loop_client_factory<M>(
+    load: &LoadSpec,
+    n: usize,
+    seed: u64,
+) -> impl FnMut(usize, NodeId) -> Box<dyn Process<M>>
+where
+    M: Payload + ProtocolMsg,
+    OpenLoopClient<M>: Process<M>,
+{
+    let per_client_rate = load.total_rate / n as f64;
+    let load = load.clone();
+    move |i, target| {
+        let cfg = OpenLoopConfig {
+            rate_per_sec: per_client_rate,
+            write_ratio: load.write_ratio,
+            tick: Dur::millis(1),
+            op_bytes: 16,
+            warmup: load.warmup,
+        };
+        Box::new(OpenLoopClient::<M>::new(
+            target,
+            cfg,
+            seed ^ (0xC11E47 + i as u64),
+        ))
     }
 }
 
@@ -109,6 +221,46 @@ pub fn canopus_config_for(spec: &DeploymentSpec) -> CanopusConfig {
     }
 }
 
+/// The emulation table for a deployment: one super-leaf per rack/DC.
+pub fn emulation_table_for(spec: &DeploymentSpec) -> EmulationTable {
+    let groups = spec.group_count();
+    let per = spec.per_group();
+    let shape = LotShape::flat(groups as u16);
+    let membership: Vec<Vec<NodeId>> = (0..groups)
+        .map(|g| (0..per).map(|i| NodeId((g * per + i) as u32)).collect())
+        .collect();
+    EmulationTable::new(shape, membership)
+}
+
+/// Builds a Canopus cluster over custom clients (the chaos harness path).
+/// A restarted node comes back as a fresh process; the survivors'
+/// tombstone machinery keeps it excluded (crash-stop rejoin is a ROADMAP
+/// item), which is safe but means its clients see no further progress.
+pub fn build_canopus_with(
+    spec: &DeploymentSpec,
+    cfg: CanopusConfig,
+    seed: u64,
+    make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<CanopusMsg>>,
+) -> Cluster<CanopusMsg> {
+    let table = emulation_table_for(spec);
+    let restart_table = table.clone();
+    let restart_cfg = cfg.clone();
+    build_custom(
+        spec,
+        seed,
+        |id| Box::new(CanopusNode::new(id, table.clone(), cfg.clone(), seed)),
+        make_client,
+        Box::new(move |id, _old| {
+            Box::new(CanopusNode::new(
+                id,
+                restart_table.clone(),
+                restart_cfg.clone(),
+                seed,
+            ))
+        }),
+    )
+}
+
 /// Builds a Canopus cluster: one super-leaf per rack/datacenter.
 pub fn build_canopus(
     spec: &DeploymentSpec,
@@ -116,16 +268,30 @@ pub fn build_canopus(
     cfg: CanopusConfig,
     seed: u64,
 ) -> Cluster<CanopusMsg> {
-    let groups = spec.group_count();
-    let per = spec.per_group();
-    let shape = LotShape::flat(groups as u16);
-    let membership: Vec<Vec<NodeId>> = (0..groups)
-        .map(|g| (0..per).map(|i| NodeId((g * per + i) as u32)).collect())
-        .collect();
-    let table = EmulationTable::new(shape, membership);
-    build_generic(spec, load, seed, |id| {
-        Box::new(CanopusNode::new(id, table.clone(), cfg.clone(), seed))
-    })
+    let clients = open_loop_client_factory(load, spec.node_count(), seed);
+    build_canopus_with(spec, cfg, seed, clients)
+}
+
+/// Builds an EPaxos cluster over custom clients. EPaxos has no recovery
+/// protocol (failure-free scope, see the crate docs), so a restarted
+/// replica is re-installed as a permanently silent crash-stop process —
+/// restarting it with empty state would silently break quorum-
+/// intersection memory and could corrupt the dependency graph.
+pub fn build_epaxos_with(
+    spec: &DeploymentSpec,
+    cfg: EpaxosConfig,
+    seed: u64,
+    make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<EpaxosMsg>>,
+) -> Cluster<EpaxosMsg> {
+    let n = spec.node_count();
+    let replicas: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    build_custom(
+        spec,
+        seed,
+        |id| Box::new(EpaxosNode::new(id, replicas.clone(), cfg.clone())),
+        make_client,
+        Box::new(|_id, _old| Box::new(SilentNode::<EpaxosMsg>::default())),
+    )
 }
 
 /// Builds an EPaxos cluster over the same deployment.
@@ -135,11 +301,38 @@ pub fn build_epaxos(
     cfg: EpaxosConfig,
     seed: u64,
 ) -> Cluster<EpaxosMsg> {
+    let clients = open_loop_client_factory(load, spec.node_count(), seed);
+    build_epaxos_with(spec, cfg, seed, clients)
+}
+
+/// Builds a ZooKeeper-model cluster over custom clients. A restarted node
+/// comes back amnesiac as a *follower* ([`ZabNode::recovering`] — even a
+/// former leader must not reclaim leadership with an empty log) and
+/// resyncs its full history from the current leader (gap detection +
+/// `ResyncRequest`), modelling Zab's synchronization phase.
+pub fn build_zab_with(
+    spec: &DeploymentSpec,
+    cfg: ZabConfig,
+    seed: u64,
+    make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<ZabMsg>>,
+) -> Cluster<ZabMsg> {
     let n = spec.node_count();
-    let replicas: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
-    build_generic(spec, load, seed, |id| {
-        Box::new(EpaxosNode::new(id, replicas.clone(), cfg.clone()))
-    })
+    let ensemble: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let restart_ensemble = ensemble.clone();
+    let restart_cfg = cfg.clone();
+    build_custom(
+        spec,
+        seed,
+        |id| Box::new(ZabNode::new(id, ensemble.clone(), cfg.clone())),
+        make_client,
+        Box::new(move |id, _old| {
+            Box::new(ZabNode::recovering(
+                id,
+                restart_ensemble.clone(),
+                restart_cfg.clone(),
+            ))
+        }),
+    )
 }
 
 /// Builds a ZooKeeper-model cluster: `participants` quorum members (leader
@@ -150,9 +343,50 @@ pub fn build_zab(
     cfg: ZabConfig,
     seed: u64,
 ) -> Cluster<ZabMsg> {
+    let clients = open_loop_client_factory(load, spec.node_count(), seed);
+    build_zab_with(spec, cfg, seed, clients)
+}
+
+/// Builds a Raft KV cluster over custom clients. A restarted node
+/// recovers its durable Raft state (term, vote, log) from the crashed
+/// process and rejoins as a follower.
+pub fn build_raftkv_with(
+    spec: &DeploymentSpec,
+    cfg: RaftKvConfig,
+    seed: u64,
+    make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<RaftKvMsg>>,
+) -> Cluster<RaftKvMsg> {
     let n = spec.node_count();
-    let ensemble: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
-    build_generic(spec, load, seed, |id| {
-        Box::new(ZabNode::new(id, ensemble.clone(), cfg.clone()))
-    })
+    let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let restart_members = members.clone();
+    let restart_cfg = cfg.clone();
+    build_custom(
+        spec,
+        seed,
+        |id| Box::new(RaftKvNode::new(id, members.clone(), cfg.clone(), seed)),
+        make_client,
+        Box::new(move |id, old| {
+            let recovered = old.and_then(|p| p.into_any().downcast::<RaftKvNode>().ok());
+            match recovered {
+                Some(node) => Box::new(RaftKvNode::recover(&node, seed)),
+                None => Box::new(RaftKvNode::new(
+                    id,
+                    restart_members.clone(),
+                    restart_cfg.clone(),
+                    seed,
+                )),
+            }
+        }),
+    )
+}
+
+/// Builds a Raft KV cluster driven by the paper's open-loop client model.
+pub fn build_raftkv(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: RaftKvConfig,
+    seed: u64,
+) -> Cluster<RaftKvMsg> {
+    let clients = open_loop_client_factory(load, spec.node_count(), seed);
+    build_raftkv_with(spec, cfg, seed, clients)
 }

@@ -10,11 +10,22 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod history;
+pub mod raftkv;
 pub mod run;
 pub mod spec;
 pub mod table;
 
-pub use cluster::{build_canopus, build_epaxos, build_zab, canopus_config_for, Cluster};
+pub use cluster::{
+    build_canopus, build_canopus_with, build_custom, build_epaxos, build_epaxos_with, build_raftkv,
+    build_raftkv_with, build_zab, build_zab_with, canopus_config_for, emulation_table_for,
+    ChaosFabric, Cluster, RestartFactory, SilentNode,
+};
+pub use history::{
+    chaos_canopus, chaos_epaxos, chaos_raftkv, chaos_verdict, chaos_zab, decode_tag, encode_tag,
+    ChaosProtocol, ChaosReport, HistoryClient, HistoryConfig, HistoryOp,
+};
+pub use raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode, RaftKvStats};
 pub use run::{
     deterministic_check, find_max_throughput, latency_at_70pct, run_canopus, run_epaxos, run_zab,
     RunResult, SearchResult, SearchSpec,

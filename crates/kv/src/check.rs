@@ -395,4 +395,126 @@ mod tests {
             committed: t(1),
         });
     }
+
+    #[test]
+    fn read_spanning_concurrent_writes_accepts_any_covered_version() {
+        // Writes at t10 and t20; a read whose window covers both commit
+        // points may linearize before v1, between v1 and v2, or after v2 —
+        // versions 0, 1, and 2 are all legal.
+        let c = checker_with_two_writes();
+        for version in [0, 1, 2] {
+            assert!(
+                c.check_read(ReadObs {
+                    key: 1,
+                    version,
+                    invoke: t(9),
+                    respond: t(21),
+                })
+                .is_ok(),
+                "version {version} must be legal for a window-spanning read"
+            );
+        }
+    }
+
+    #[test]
+    fn read_overlapping_a_write_window_accepts_old_and_new() {
+        // The read's window straddles exactly the v2 commit at t20: both
+        // the pre-write and post-write value are linearizable outcomes.
+        let c = checker_with_two_writes();
+        for version in [1, 2] {
+            assert!(c
+                .check_read(ReadObs {
+                    key: 1,
+                    version,
+                    invoke: t(19),
+                    respond: t(21),
+                })
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn stale_read_exactly_at_version_boundary() {
+        let c = checker_with_two_writes();
+        // Invoked exactly when v2 committed (t20): v1 is already stale —
+        // the boundary is inclusive (`next <= invoke`).
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 1,
+                invoke: t(20),
+                respond: t(22),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::Stale);
+        // One nanosecond earlier the read may still linearize before v2.
+        assert!(c
+            .check_read(ReadObs {
+                key: 1,
+                version: 1,
+                invoke: Time::ZERO + (Dur::millis(20) - Dur::nanos(1)),
+                respond: t(22),
+            })
+            .is_ok());
+        // Same inclusive boundary for the absent (version 0) case.
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 0,
+                invoke: t(10),
+                respond: t(12),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::Stale);
+    }
+
+    #[test]
+    fn future_read_exactly_at_commit_boundary() {
+        let c = checker_with_two_writes();
+        // Responding exactly at the v2 commit instant is legal (the read
+        // linearizes at its response point)…
+        assert!(c
+            .check_read(ReadObs {
+                key: 1,
+                version: 2,
+                invoke: t(18),
+                respond: t(20),
+            })
+            .is_ok());
+        // …one nanosecond before it is not.
+        let err = c
+            .check_read(ReadObs {
+                key: 1,
+                version: 2,
+                invoke: t(18),
+                respond: Time::ZERO + (Dur::millis(20) - Dur::nanos(1)),
+            })
+            .unwrap_err();
+        assert_eq!(err.reason, LinReason::FromTheFuture);
+    }
+
+    #[test]
+    fn empty_history_check_all() {
+        let c = LinChecker::new();
+        // No reads, no writes: trivially linearizable.
+        assert!(c.check_all(&[]).is_empty());
+        // Absent reads against an empty history are always legal…
+        assert!(c
+            .check_all(&[ReadObs {
+                key: 5,
+                version: 0,
+                invoke: t(1),
+                respond: t(2),
+            }])
+            .is_empty());
+        // …but observing a version that was never written is not.
+        let violations = c.check_all(&[ReadObs {
+            key: 5,
+            version: 1,
+            invoke: t(1),
+            respond: t(2),
+        }]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].reason, LinReason::NeverWritten);
+    }
 }

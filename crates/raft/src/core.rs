@@ -327,6 +327,36 @@ impl RaftCore {
         core
     }
 
+    /// This member's durable state — the fields Raft requires to survive a
+    /// crash (current term, vote, log). Volatile state (commit index,
+    /// delivery cursor, role) is re-derived after recovery.
+    pub fn persistent_state(&self) -> (u64, Option<NodeId>, Vec<Entry>) {
+        (self.term, self.voted_for, self.log.clone())
+    }
+
+    /// Rebuilds a member from recovered durable state. The node boots as a
+    /// follower; its committed entries re-deliver through the normal commit
+    /// path once a leader advances its commit index, so the host replays
+    /// them into its state machine exactly once.
+    pub fn restore(
+        group: GroupId,
+        me: NodeId,
+        members: Vec<NodeId>,
+        cfg: RaftConfig,
+        now: Time,
+        rng: &mut SmallRng,
+        term: u64,
+        voted_for: Option<NodeId>,
+        log: Vec<Entry>,
+    ) -> Self {
+        let mut core = RaftCore::new(group, me, members, cfg, false, now, rng);
+        core.term = term.max(1);
+        core.voted_for = voted_for;
+        core.log = log;
+        core.reset_election_deadline(now, rng);
+        core
+    }
+
     /// This member's id.
     pub fn me(&self) -> NodeId {
         self.me

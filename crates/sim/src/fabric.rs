@@ -54,23 +54,66 @@ impl<M: Payload> Fabric<M> for UniformFabric {
 }
 
 /// Decorator that drops each message with probability `loss`, and otherwise
-/// defers to the inner fabric.
+/// defers to the inner fabric. The loss rate can be changed mid-run (the
+/// nemesis engine's `SetLoss` event), and asymmetric impairment is modelled
+/// with per-sender overrides: traffic *leaving* an impaired node is dropped
+/// at its own rate while the reverse direction keeps the global rate.
 pub struct LossyFabric<F> {
     inner: F,
     loss: f64,
+    out_loss: std::collections::BTreeMap<NodeId, f64>,
 }
 
 impl<F> LossyFabric<F> {
     /// Wraps `inner`, dropping messages with probability `loss` ∈ [0, 1].
     pub fn new(inner: F, loss: f64) -> Self {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
-        LossyFabric { inner, loss }
+        LossyFabric {
+            inner,
+            loss,
+            out_loss: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Changes the global loss probability.
+    pub fn set_loss(&mut self, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss = loss;
+    }
+
+    /// Current global loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Sets an asymmetric loss rate for traffic sent *by* `node`
+    /// (overrides the global rate for that direction). `loss = 0` removes
+    /// the override only if the global rate is also zero — pass exactly
+    /// what should apply to the node's outbound traffic.
+    pub fn set_out_loss(&mut self, node: NodeId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.out_loss.insert(node, loss);
+    }
+
+    /// Clears the global and all per-node loss rates.
+    pub fn clear_loss(&mut self) {
+        self.loss = 0.0;
+        self.out_loss.clear();
+    }
+
+    /// Access to the wrapped fabric.
+    pub fn inner_mut(&mut self) -> &mut F {
+        &mut self.inner
     }
 }
 
 impl<M: Payload, F: Fabric<M>> Fabric<M> for LossyFabric<F> {
     fn route(&mut self, from: NodeId, to: NodeId, msg: &M, now: Time, rng: &mut SmallRng) -> Route {
-        if self.loss > 0.0 && rng.gen::<f64>() < self.loss {
+        let p = match self.out_loss.get(&from) {
+            Some(&p) => p,
+            None => self.loss,
+        };
+        if p > 0.0 && rng.gen::<f64>() < p {
             return Route::Drop;
         }
         self.inner.route(from, to, msg, now, rng)
@@ -84,6 +127,8 @@ pub struct PartitionableFabric<F> {
     inner: F,
     /// Pairs (a, b) with a < b such that traffic between a and b is cut.
     cut: BTreeSet<(NodeId, NodeId)>,
+    /// Nodes cut from everyone (both directions).
+    isolated: BTreeSet<NodeId>,
 }
 
 impl<F> PartitionableFabric<F> {
@@ -92,6 +137,7 @@ impl<F> PartitionableFabric<F> {
         PartitionableFabric {
             inner,
             cut: BTreeSet::new(),
+            isolated: BTreeSet::new(),
         }
     }
 
@@ -122,9 +168,35 @@ impl<F> PartitionableFabric<F> {
         }
     }
 
-    /// Removes all installed partitions.
+    /// Heals every pair with one endpoint in `side_a` and the other in
+    /// `side_b` (the inverse of [`Self::cut_groups`]).
+    pub fn heal_groups(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.heal_pair(a, b);
+            }
+        }
+    }
+
+    /// Cuts `node` off from every other node, both directions.
+    pub fn isolate(&mut self, node: NodeId) {
+        self.isolated.insert(node);
+    }
+
+    /// Reconnects an isolated node.
+    pub fn unisolate(&mut self, node: NodeId) {
+        self.isolated.remove(&node);
+    }
+
+    /// Removes all installed partitions and isolations.
     pub fn heal_all(&mut self) {
         self.cut.clear();
+        self.isolated.clear();
+    }
+
+    /// Number of cut pairs currently installed.
+    pub fn cut_count(&self) -> usize {
+        self.cut.len()
     }
 
     /// Access to the wrapped fabric.
@@ -135,6 +207,11 @@ impl<F> PartitionableFabric<F> {
 
 impl<M: Payload, F: Fabric<M>> Fabric<M> for PartitionableFabric<F> {
     fn route(&mut self, from: NodeId, to: NodeId, msg: &M, now: Time, rng: &mut SmallRng) -> Route {
+        if !self.isolated.is_empty()
+            && (self.isolated.contains(&from) || self.isolated.contains(&to))
+        {
+            return Route::Drop;
+        }
         if self.cut.contains(&Self::key(from, to)) {
             return Route::Drop;
         }

@@ -1,0 +1,476 @@
+//! The deterministic nemesis engine: seeded, time-ordered fault schedules
+//! applied to a running [`Simulation`].
+//!
+//! A [`FaultPlan`] is a declarative, virtual-time schedule of
+//! [`FaultEvent`]s — partitions, crashes, restarts, loss injection, node
+//! isolation, link flapping — built with combinators (`at`, `then`,
+//! `repeat`, `randomized`). A [`NemesisDriver`] replays the plan against
+//! any simulation whose fabric implements [`NemesisFabric`] (the
+//! [`PartitionableFabric`]`<`[`LossyFabric`]`<F>>` composition provides it
+//! for every inner fabric), interleaving fault application with event
+//! processing so faults land at exact virtual instants.
+//!
+//! Determinism: the plan is data, the jitter is seeded, and the driver
+//! advances the simulation with `run_until` between events — so the same
+//! plan + seed always yields the same execution (guarded by the trace-hash
+//! regression tests in the chaos suite).
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fabric::{Fabric, LossyFabric, PartitionableFabric};
+use crate::process::{NodeId, Payload, Process};
+use crate::sim::Simulation;
+use crate::time::{Dur, Time};
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Cut every link with one endpoint in `a` and the other in `b`.
+    CutGroups {
+        /// One side of the partition.
+        a: Vec<NodeId>,
+        /// The other side.
+        b: Vec<NodeId>,
+    },
+    /// Remove every installed partition and isolation, and zero all loss.
+    HealAll,
+    /// Crash-stop a node.
+    Crash(NodeId),
+    /// Restart a crashed node with a fresh (or recovered) process.
+    Restart(NodeId),
+    /// Set the global message-loss probability.
+    SetLoss(f64),
+    /// Set an asymmetric loss rate on one node's outbound traffic.
+    SetNodeOutLoss {
+        /// The impaired sender.
+        node: NodeId,
+        /// Drop probability for its outbound messages.
+        loss: f64,
+    },
+    /// Cut a node off from everyone (both directions).
+    IsolateNode(NodeId),
+    /// Toggle the `a`↔`b` cut every `period`, starting cut, until the next
+    /// `HealAll` in the plan (or the driver's horizon).
+    FlapLink {
+        /// One side of the flapping link.
+        a: Vec<NodeId>,
+        /// The other side.
+        b: Vec<NodeId>,
+        /// Toggle period.
+        period: Dur,
+    },
+}
+
+/// A concrete action on the timeline after flap expansion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Install a group cut.
+    Cut(Vec<NodeId>, Vec<NodeId>),
+    /// Remove a group cut.
+    Heal(Vec<NodeId>, Vec<NodeId>),
+    /// Remove all partitions/isolations and zero loss.
+    HealAll,
+    /// Crash-stop a node.
+    Crash(NodeId),
+    /// Restart a crashed node.
+    Restart(NodeId),
+    /// Set the global loss probability.
+    SetLoss(f64),
+    /// Set one node's outbound loss probability.
+    SetNodeOutLoss(NodeId, f64),
+    /// Isolate a node.
+    Isolate(NodeId),
+}
+
+/// A seeded, time-ordered schedule of fault events. Offsets are relative
+/// to the instant the plan is handed to a [`NemesisDriver`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(Dur, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds `event` at absolute offset `at` from the plan start.
+    pub fn at(mut self, at: Dur, event: FaultEvent) -> Self {
+        self.events.push((at, event));
+        self
+    }
+
+    /// Adds `event` `gap` after the previously added event (or at `gap`
+    /// for the first event).
+    pub fn then(self, gap: Dur, event: FaultEvent) -> Self {
+        let base = self.events.last().map(|(d, _)| *d).unwrap_or(Dur::ZERO);
+        self.at(base + gap, event)
+    }
+
+    /// Repeats the current schedule `times` additional times, each copy
+    /// shifted by a further `period`. The original occupies repetition 0.
+    pub fn repeat(mut self, times: usize, period: Dur) -> Self {
+        let base: Vec<(Dur, FaultEvent)> = self.events.clone();
+        for i in 1..=times {
+            let shift = Dur::nanos(period.as_nanos() * i as u64);
+            for (d, ev) in &base {
+                self.events.push((*d + shift, ev.clone()));
+            }
+        }
+        self
+    }
+
+    /// Applies deterministic jitter of up to `jitter` to every event
+    /// offset, drawn from a `seed`ed RNG. Same seed ⇒ same jitter.
+    pub fn randomized(mut self, seed: u64, jitter: Dur) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4e454d45_53495321);
+        for (d, _) in &mut self.events {
+            let j = Dur::nanos(rng.gen_range(0..jitter.as_nanos().max(1)));
+            *d += j;
+        }
+        self
+    }
+
+    /// The raw schedule, in insertion order.
+    pub fn events(&self) -> &[(Dur, FaultEvent)] {
+        &self.events
+    }
+
+    /// Expands the plan into a concrete, time-sorted action timeline
+    /// anchored at `start`, bounded by `horizon`. `FlapLink` unrolls into
+    /// alternating cut/heal actions until the next `HealAll` after it (or
+    /// the horizon).
+    pub fn timeline(&self, start: Time, horizon: Dur) -> Vec<(Time, FaultAction)> {
+        let end = start + horizon;
+        let mut out: Vec<(Time, u64, FaultAction)> = Vec::new();
+        let mut seq = 0u64;
+        let push = |out: &mut Vec<(Time, u64, FaultAction)>, seq: &mut u64, t, a| {
+            out.push((t, *seq, a));
+            *seq += 1;
+        };
+        for (i, (offset, event)) in self.events.iter().enumerate() {
+            let t = start + *offset;
+            if t > end {
+                continue;
+            }
+            match event {
+                FaultEvent::CutGroups { a, b } => {
+                    push(
+                        &mut out,
+                        &mut seq,
+                        t,
+                        FaultAction::Cut(a.clone(), b.clone()),
+                    );
+                }
+                FaultEvent::HealAll => push(&mut out, &mut seq, t, FaultAction::HealAll),
+                FaultEvent::Crash(n) => push(&mut out, &mut seq, t, FaultAction::Crash(*n)),
+                FaultEvent::Restart(n) => push(&mut out, &mut seq, t, FaultAction::Restart(*n)),
+                FaultEvent::SetLoss(p) => push(&mut out, &mut seq, t, FaultAction::SetLoss(*p)),
+                FaultEvent::SetNodeOutLoss { node, loss } => {
+                    push(
+                        &mut out,
+                        &mut seq,
+                        t,
+                        FaultAction::SetNodeOutLoss(*node, *loss),
+                    );
+                }
+                FaultEvent::IsolateNode(n) => {
+                    push(&mut out, &mut seq, t, FaultAction::Isolate(*n));
+                }
+                FaultEvent::FlapLink { a, b, period } => {
+                    assert!(!period.is_zero(), "flap period must be positive");
+                    // Flap until the next HealAll scheduled after this event.
+                    let stop = self
+                        .events
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, (d, ev))| {
+                            matches!(ev, FaultEvent::HealAll)
+                                && (*d > *offset || (*d == *offset && *j > i))
+                        })
+                        .map(|(_, (d, _))| start + *d)
+                        .min()
+                        .unwrap_or(end)
+                        .min(end);
+                    let mut cut = true;
+                    let mut when = t;
+                    while when < stop {
+                        let action = if cut {
+                            FaultAction::Cut(a.clone(), b.clone())
+                        } else {
+                            FaultAction::Heal(a.clone(), b.clone())
+                        };
+                        push(&mut out, &mut seq, when, action);
+                        cut = !cut;
+                        when += *period;
+                    }
+                    // Leave the link healed when the flap window closes
+                    // without a terminating HealAll of its own.
+                    if !cut {
+                        push(
+                            &mut out,
+                            &mut seq,
+                            stop,
+                            FaultAction::Heal(a.clone(), b.clone()),
+                        );
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(t, s, _)| (*t, *s));
+        out.into_iter().map(|(t, _, a)| (t, a)).collect()
+    }
+}
+
+/// Fabric operations the nemesis needs. Implemented by the canonical
+/// [`PartitionableFabric`]`<`[`LossyFabric`]`<F>>` composition over any
+/// inner fabric.
+pub trait NemesisFabric {
+    /// Cut the `a` × `b` cross product of links.
+    fn nemesis_cut_groups(&mut self, a: &[NodeId], b: &[NodeId]);
+    /// Heal the `a` × `b` cross product of links.
+    fn nemesis_heal_groups(&mut self, a: &[NodeId], b: &[NodeId]);
+    /// Remove every partition and isolation, and zero all loss.
+    fn nemesis_heal_all(&mut self);
+    /// Set the global loss probability.
+    fn nemesis_set_loss(&mut self, loss: f64);
+    /// Set one node's outbound loss probability.
+    fn nemesis_set_node_out_loss(&mut self, node: NodeId, loss: f64);
+    /// Isolate a node from everyone.
+    fn nemesis_isolate(&mut self, node: NodeId);
+}
+
+impl<F> NemesisFabric for PartitionableFabric<LossyFabric<F>> {
+    fn nemesis_cut_groups(&mut self, a: &[NodeId], b: &[NodeId]) {
+        self.cut_groups(a, b);
+    }
+    fn nemesis_heal_groups(&mut self, a: &[NodeId], b: &[NodeId]) {
+        self.heal_groups(a, b);
+    }
+    fn nemesis_heal_all(&mut self) {
+        self.heal_all();
+        self.inner_mut().clear_loss();
+    }
+    fn nemesis_set_loss(&mut self, loss: f64) {
+        self.inner_mut().set_loss(loss);
+    }
+    fn nemesis_set_node_out_loss(&mut self, node: NodeId, loss: f64) {
+        self.inner_mut().set_out_loss(node, loss);
+    }
+    fn nemesis_isolate(&mut self, node: NodeId) {
+        self.isolate(node);
+    }
+}
+
+/// Factory invoked by the driver on `Restart`: receives the node id and,
+/// when the kernel still holds it, the crashed process (so protocols with
+/// durable state — e.g. Raft's term/vote/log — can model recovery).
+pub type RestartFn<'a, M> =
+    &'a mut dyn FnMut(NodeId, Option<Box<dyn Process<M>>>) -> Box<dyn Process<M>>;
+
+/// Replays a [`FaultPlan`] timeline against a simulation as virtual time
+/// advances.
+pub struct NemesisDriver {
+    timeline: Vec<(Time, FaultAction)>,
+    next: usize,
+    applied: Vec<(Time, FaultAction)>,
+    ever_crashed: BTreeSet<NodeId>,
+}
+
+impl NemesisDriver {
+    /// Builds a driver for `plan`, anchored at `start` and expanded up to
+    /// `start + horizon`.
+    pub fn new(plan: &FaultPlan, start: Time, horizon: Dur) -> Self {
+        NemesisDriver {
+            timeline: plan.timeline(start, horizon),
+            next: 0,
+            applied: Vec::new(),
+            ever_crashed: BTreeSet::new(),
+        }
+    }
+
+    /// Runs `sim` until `until`, applying every scheduled action at its
+    /// exact virtual instant. `restart` builds replacement processes for
+    /// `Restart` actions.
+    pub fn run<M, F>(&mut self, sim: &mut Simulation<M, F>, until: Time, restart: RestartFn<'_, M>)
+    where
+        M: Payload,
+        F: Fabric<M> + NemesisFabric,
+    {
+        while self.next < self.timeline.len() && self.timeline[self.next].0 <= until {
+            let (at, action) = self.timeline[self.next].clone();
+            self.next += 1;
+            sim.run_until(at);
+            self.apply(sim, at, action, restart);
+        }
+        sim.run_until(until);
+    }
+
+    fn apply<M, F>(
+        &mut self,
+        sim: &mut Simulation<M, F>,
+        at: Time,
+        action: FaultAction,
+        restart: RestartFn<'_, M>,
+    ) where
+        M: Payload,
+        F: Fabric<M> + NemesisFabric,
+    {
+        match &action {
+            FaultAction::Cut(a, b) => sim.fabric_mut().nemesis_cut_groups(a, b),
+            FaultAction::Heal(a, b) => sim.fabric_mut().nemesis_heal_groups(a, b),
+            FaultAction::HealAll => sim.fabric_mut().nemesis_heal_all(),
+            FaultAction::SetLoss(p) => sim.fabric_mut().nemesis_set_loss(*p),
+            FaultAction::SetNodeOutLoss(n, p) => {
+                sim.fabric_mut().nemesis_set_node_out_loss(*n, *p);
+            }
+            FaultAction::Isolate(n) => sim.fabric_mut().nemesis_isolate(*n),
+            FaultAction::Crash(n) => {
+                if sim.is_alive(*n) {
+                    sim.crash(*n);
+                    self.ever_crashed.insert(*n);
+                }
+            }
+            FaultAction::Restart(n) => {
+                if !sim.is_alive(*n) {
+                    let old = sim.take_crashed(*n);
+                    sim.restart(*n, restart(*n, old));
+                }
+            }
+        }
+        self.applied.push((at, action));
+    }
+
+    /// Whether every scheduled action has been applied.
+    pub fn finished(&self) -> bool {
+        self.next >= self.timeline.len()
+    }
+
+    /// The actions applied so far, with their application times.
+    pub fn applied(&self) -> &[(Time, FaultAction)] {
+        &self.applied
+    }
+
+    /// Nodes crashed at least once by this driver.
+    pub fn ever_crashed(&self) -> &BTreeSet<NodeId> {
+        &self.ever_crashed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn combinators_build_ordered_timelines() {
+        let plan = FaultPlan::new()
+            .at(Dur::millis(10), FaultEvent::Crash(n(1)))
+            .then(Dur::millis(5), FaultEvent::Restart(n(1)))
+            .at(Dur::millis(2), FaultEvent::SetLoss(0.1));
+        let tl = plan.timeline(Time::ZERO, Dur::secs(1));
+        assert_eq!(tl.len(), 3);
+        assert_eq!(
+            tl[0],
+            (Time::ZERO + Dur::millis(2), FaultAction::SetLoss(0.1))
+        );
+        assert_eq!(
+            tl[1],
+            (Time::ZERO + Dur::millis(10), FaultAction::Crash(n(1)))
+        );
+        assert_eq!(
+            tl[2],
+            (Time::ZERO + Dur::millis(15), FaultAction::Restart(n(1)))
+        );
+    }
+
+    #[test]
+    fn repeat_shifts_whole_schedule() {
+        let plan = FaultPlan::new()
+            .at(Dur::millis(1), FaultEvent::Crash(n(0)))
+            .then(Dur::millis(1), FaultEvent::Restart(n(0)))
+            .repeat(2, Dur::millis(10));
+        let tl = plan.timeline(Time::ZERO, Dur::secs(1));
+        assert_eq!(tl.len(), 6);
+        assert_eq!(tl[2].0, Time::ZERO + Dur::millis(11));
+        assert_eq!(tl[5].0, Time::ZERO + Dur::millis(22));
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let base = || {
+            FaultPlan::new()
+                .at(Dur::millis(10), FaultEvent::HealAll)
+                .then(Dur::millis(10), FaultEvent::Crash(n(2)))
+        };
+        let a = base()
+            .randomized(7, Dur::millis(3))
+            .timeline(Time::ZERO, Dur::secs(1));
+        let b = base()
+            .randomized(7, Dur::millis(3))
+            .timeline(Time::ZERO, Dur::secs(1));
+        let c = base()
+            .randomized(8, Dur::millis(3))
+            .timeline(Time::ZERO, Dur::secs(1));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed jitters differently");
+    }
+
+    #[test]
+    fn flap_expands_until_heal_all() {
+        let plan = FaultPlan::new()
+            .at(
+                Dur::millis(0),
+                FaultEvent::FlapLink {
+                    a: vec![n(0)],
+                    b: vec![n(1)],
+                    period: Dur::millis(10),
+                },
+            )
+            .at(Dur::millis(35), FaultEvent::HealAll);
+        let tl = plan.timeline(Time::ZERO, Dur::secs(1));
+        // Toggles at 0 (cut), 10 (heal), 20 (cut), 30 (heal), then HealAll.
+        let cuts = tl
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::Cut(..)))
+            .count();
+        let heals = tl
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::Heal(..)))
+            .count();
+        assert_eq!(cuts, 2);
+        assert_eq!(heals, 2);
+        assert!(matches!(tl.last().unwrap().1, FaultAction::HealAll));
+    }
+
+    #[test]
+    fn flap_without_heal_ends_healed_at_horizon() {
+        let plan = FaultPlan::new().at(
+            Dur::millis(0),
+            FaultEvent::FlapLink {
+                a: vec![n(0)],
+                b: vec![n(1)],
+                period: Dur::millis(10),
+            },
+        );
+        let tl = plan.timeline(Time::ZERO, Dur::millis(25));
+        // cut@0, heal@10, cut@20, forced heal@25.
+        assert!(matches!(tl.last().unwrap().1, FaultAction::Heal(..)));
+        let cuts = tl
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::Cut(..)))
+            .count();
+        let heals = tl
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::Heal(..)))
+            .count();
+        assert_eq!(cuts, heals);
+    }
+}

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod fault;
 mod process;
 mod sim;
 mod time;
 
 pub use fabric::{Fabric, LossyFabric, PartitionableFabric, Route, UniformFabric};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, NemesisDriver, NemesisFabric};
 pub use process::{Context, Effect, NodeId, Payload, Process, Timer, TimerId};
 pub use sim::{NetStats, NodeConfig, Simulation, TraceEvent, Tracer, EXTERNAL};
 pub use time::{Dur, Time};

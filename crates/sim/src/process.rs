@@ -203,6 +203,10 @@ pub trait Process<M>: Any + Send {
 
     /// Upcasts for harness-side state mutation.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Consumes the boxed process for owned downcasting (crash-recovery
+    /// paths reclaim durable state from the dead process this way).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 /// Implements the [`Process::as_any`]/[`Process::as_any_mut`] boilerplate.
@@ -213,6 +217,9 @@ macro_rules! impl_process_any {
             self
         }
         fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+        fn into_any(self: ::std::boxed::Box<Self>) -> ::std::boxed::Box<dyn ::std::any::Any> {
             self
         }
     };

@@ -161,6 +161,20 @@ pub struct Simulation<M: Payload, F: Fabric<M>> {
     stats: NetStats,
     events_processed: u64,
     tracer: Option<Tracer<M>>,
+    /// Running FNV-1a over the event schedule when enabled (see
+    /// [`Simulation::enable_trace_hash`]); `None` = disabled.
+    trace_hash: Option<u64>,
+}
+
+/// FNV-1a offset basis / prime, shared by the trace-hash helper.
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv_mix(h: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
 }
 
 impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
@@ -178,12 +192,35 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
             stats: NetStats::default(),
             events_processed: 0,
             tracer: None,
+            trace_hash: None,
         }
     }
 
     /// Installs a tracer receiving every send/deliver record.
     pub fn set_tracer(&mut self, tracer: Tracer<M>) {
         self.tracer = Some(tracer);
+    }
+
+    /// Starts folding every send, delivery, and timer firing into a running
+    /// FNV-1a hash. Two runs with the same seed, setup, and fault schedule
+    /// must produce identical hashes — the determinism regression the chaos
+    /// suite asserts.
+    pub fn enable_trace_hash(&mut self) {
+        self.trace_hash = Some(FNV_OFFSET);
+    }
+
+    /// The current trace hash (`None` until [`Self::enable_trace_hash`]).
+    pub fn trace_hash(&self) -> Option<u64> {
+        self.trace_hash
+    }
+
+    fn trace_mix(&mut self, tag: u64, a: u64, b: u64, c: u64) {
+        if let Some(h) = self.trace_hash.as_mut() {
+            fnv_mix(h, tag);
+            fnv_mix(h, a);
+            fnv_mix(h, b);
+            fnv_mix(h, c);
+        }
     }
 
     /// Adds a node with default [`NodeConfig`]; `on_start` runs immediately.
@@ -279,6 +316,18 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
         slot.pending.clear();
     }
 
+    /// Takes the crashed process out of a dead node's slot, if it is still
+    /// there. Lets restart paths model durable state (e.g. Raft's
+    /// term/vote/log survive a power cycle) by recovering it from the old
+    /// process. Returns `None` for live nodes or already-taken slots.
+    pub fn take_crashed(&mut self, id: NodeId) -> Option<Box<dyn Process<M>>> {
+        let slot = &mut self.nodes[id.index()];
+        if slot.alive {
+            return None;
+        }
+        slot.process.take()
+    }
+
     /// Restarts a crashed node with a fresh process (the rejoin protocol is
     /// the process's responsibility); `on_start` runs immediately.
     pub fn restart(&mut self, id: NodeId, process: Box<dyn Process<M>>) {
@@ -372,6 +421,7 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
                 if !slot.alive || slot.epoch != epoch {
                     return; // armed before a crash
                 }
+                self.trace_mix(2, node.0 as u64, at.as_nanos(), token);
                 self.run_callback(node, CallbackKind::Timer(Timer { id, token }), at);
             }
             EventKind::Drain { node } => {
@@ -411,6 +461,12 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
                 });
             }
             self.stats.msgs_delivered += 1;
+            self.trace_mix(
+                1,
+                ((from.0 as u64) << 32) | node.0 as u64,
+                now.as_nanos(),
+                msg.wire_size() as u64,
+            );
             self.run_callback(node, CallbackKind::Message(from, msg), now);
         }
     }
@@ -479,6 +535,15 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
             return;
         }
         let route = self.fabric.route(from, to, &msg, now, &mut self.rng);
+        self.trace_mix(
+            3,
+            ((from.0 as u64) << 32) | to.0 as u64,
+            now.as_nanos(),
+            match route {
+                Route::Deliver(t) => t.as_nanos(),
+                Route::Drop => u64::MAX,
+            },
+        );
         if let Some(tracer) = self.tracer.as_mut() {
             let deliver_at = match route {
                 Route::Deliver(t) => Some(t),

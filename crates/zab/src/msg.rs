@@ -111,6 +111,10 @@ pub enum ZabMsg {
         /// Acked epoch.
         epoch: u32,
     },
+    /// A node that noticed it is behind (stale epoch or a log gap, e.g.
+    /// after a restart or a healed partition) asks the current leader for
+    /// a full resync; the leader answers with `NewLeader`.
+    ResyncRequest,
 }
 
 impl Payload for ZabMsg {
@@ -133,6 +137,7 @@ impl Payload for ZabMsg {
                         .sum::<usize>()
             }
             ZabMsg::FollowerAck { .. } => 1 + 4,
+            ZabMsg::ResyncRequest => 1,
         }
     }
 }
@@ -193,6 +198,7 @@ impl Wire for ZabMsg {
                 10u8.encode(buf);
                 epoch.encode(buf);
             }
+            ZabMsg::ResyncRequest => 11u8.encode(buf),
         }
     }
 
@@ -230,6 +236,7 @@ impl Wire for ZabMsg {
             10 => Ok(ZabMsg::FollowerAck {
                 epoch: u32::decode(buf)?,
             }),
+            11 => Ok(ZabMsg::ResyncRequest),
             _ => Err(WireError::Invalid("zab msg tag")),
         }
     }

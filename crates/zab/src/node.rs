@@ -107,6 +107,10 @@ pub struct ZabNode {
     store: KvStore,
     stats: ZabStats,
     forward_queue: VecDeque<Txn>,
+    /// When we last asked the leader for a full resync — throttles the
+    /// request so a burst of gap-detected messages costs one history
+    /// transfer, not one per message.
+    resync_requested_at: Option<Time>,
 }
 
 impl ZabNode {
@@ -144,7 +148,22 @@ impl ZabNode {
             store: KvStore::new(),
             stats: ZabStats::default(),
             forward_queue: VecDeque::new(),
+            resync_requested_at: None,
         }
+    }
+
+    /// Creates a node that rejoins after a crash with no durable state. It
+    /// always boots as a follower — even `ensemble[0]` — because an
+    /// amnesiac node that reclaimed its old leadership would reuse
+    /// already-committed zxids and diverge the log. It catches up through
+    /// the resync path (leader pings → `ResyncRequest` → `NewLeader`), or
+    /// triggers an election if the whole ensemble lost its leader.
+    pub fn recovering(me: NodeId, ensemble: Vec<NodeId>, cfg: ZabConfig) -> Self {
+        let mut node = ZabNode::new(me, ensemble, cfg);
+        if node.role == ZabRole::Leader {
+            node.role = ZabRole::Follower;
+        }
+        node
     }
 
     /// This node's id.
@@ -179,6 +198,22 @@ impl ZabNode {
             .iter()
             .filter(|(z, _)| *z <= self.applied)
             .map(|(_, t)| (t.op.req.client, t.op.req.op_id))
+            .collect()
+    }
+
+    /// The applied transactions as `(key, client, op_id)` triples (`key`
+    /// is `None` for non-`Put` operations), for per-key order checks.
+    pub fn applied_ops(&self) -> Vec<(Option<canopus_kv::Key>, NodeId, u64)> {
+        self.log
+            .iter()
+            .filter(|(z, _)| *z <= self.applied)
+            .map(|(_, t)| {
+                let key = match &t.op.req.op {
+                    Op::Put { key, .. } => Some(*key),
+                    _ => None,
+                };
+                (key, t.op.req.client, t.op.req.op_id)
+            })
             .collect()
     }
 
@@ -332,8 +367,11 @@ impl ZabNode {
             match self.role {
                 ZabRole::Leader => self.lead_transaction(txn, ctx),
                 _ => {
-                    if self.election_deadline.is_some() {
-                        // Leaderless: queue until the new epoch.
+                    if self.election_deadline.is_some() || self.leader == self.me {
+                        // Leaderless — mid-election, or we are the
+                        // configured leader but no longer lead (a
+                        // recovering `ensemble[0]`): queue until the next
+                        // epoch rather than forwarding to ourselves.
                         self.forward_queue.push_back(txn);
                     } else {
                         ctx.send(self.leader, ZabMsg::Forward(txn));
@@ -441,6 +479,42 @@ impl ZabNode {
         // Losers wait for NewLeader.
     }
 
+    /// Asks `from` for a full resync, at most once per election timeout —
+    /// the leader answers with its entire history, so a burst of
+    /// gap-detected messages must not trigger one transfer each.
+    fn request_resync(&mut self, from: NodeId, ctx: &mut Context<'_, ZabMsg>) {
+        let due = match self.resync_requested_at {
+            Some(at) => ctx.now().saturating_since(at) >= self.cfg.election_timeout,
+            None => true,
+        };
+        if due {
+            self.resync_requested_at = Some(ctx.now());
+            ctx.send(from, ZabMsg::ResyncRequest);
+        }
+    }
+
+    /// Whether `zxid` extends this node's log by exactly one transaction.
+    /// If not — we missed history (restart, healed partition) — and the
+    /// transaction is ahead of us, ask `from` for a full resync. Returns
+    /// `true` when the transaction may be appended.
+    fn contiguous_or_resync(
+        &mut self,
+        zxid: Zxid,
+        from: NodeId,
+        ctx: &mut Context<'_, ZabMsg>,
+    ) -> bool {
+        let last = self.last_zxid();
+        let contiguous = if zxid.epoch == last.epoch {
+            zxid.counter == last.counter + 1
+        } else {
+            zxid.counter == 1
+        };
+        if !contiguous && zxid > last {
+            self.request_resync(from, ctx);
+        }
+        contiguous
+    }
+
     fn handle_new_leader(
         &mut self,
         from: NodeId,
@@ -461,6 +535,7 @@ impl ZabNode {
         };
         self.election_deadline = None;
         self.election_votes.clear();
+        self.resync_requested_at = None;
         // Adopt the leader's history (full resync).
         self.log = history;
         self.committed = committed;
@@ -500,13 +575,21 @@ impl Process<ZabMsg> for ZabNode {
             ZabMsg::Forward(txn) => {
                 if self.role == ZabRole::Leader {
                     self.lead_transaction(txn, ctx);
-                } else {
+                } else if self.leader != self.me && self.election_deadline.is_none() {
                     // Re-forward (leadership may have moved).
                     ctx.send(self.leader, ZabMsg::Forward(txn));
+                } else {
+                    // We are the forward target but no longer lead (a
+                    // recovering `ensemble[0]`, or mid-election): park it.
+                    self.forward_queue.push_back(txn);
                 }
             }
             ZabMsg::Propose { zxid, txn } => {
                 if zxid.epoch != self.epoch {
+                    return;
+                }
+                // Never append a duplicate or a suffix with a hole.
+                if !self.contiguous_or_resync(zxid, from, ctx) {
                     return;
                 }
                 self.log.push((zxid, txn));
@@ -534,6 +617,23 @@ impl Process<ZabMsg> for ZabNode {
                 if zxid <= self.applied {
                     return;
                 }
+                // Epoch guard, like Propose: an observer that missed the
+                // `NewLeader` broadcast has no guarantee it holds the full
+                // previous epoch, so a cross-epoch Inform must trigger a
+                // resync — without this, `(e+1, 1)` would pass the
+                // contiguity check and silently skip the committed tail of
+                // epoch `e`.
+                if zxid.epoch != self.epoch {
+                    if zxid.epoch > self.epoch {
+                        self.request_resync(from, ctx);
+                    }
+                    return;
+                }
+                // Same gap rule as Propose: an observer that missed history
+                // must resync instead of applying a suffix with a hole.
+                if !self.contiguous_or_resync(zxid, from, ctx) {
+                    return;
+                }
                 self.log.push((zxid, txn));
                 self.committed = self.committed.max(zxid);
                 self.apply_committed(ctx);
@@ -541,6 +641,12 @@ impl Process<ZabMsg> for ZabNode {
             ZabMsg::Ping { epoch } => {
                 if epoch >= self.epoch {
                     self.last_leader_contact = ctx.now();
+                }
+                // A higher epoch means a leader we never synced with (we
+                // restarted, or we are a deposed leader healing from a
+                // partition): request a full resync from it.
+                if epoch > self.epoch {
+                    self.request_resync(from, ctx);
                 }
             }
             ZabMsg::Election { epoch, last_zxid } => {
@@ -565,6 +671,18 @@ impl Process<ZabMsg> for ZabNode {
                 committed,
             } => self.handle_new_leader(from, epoch, history, committed, ctx),
             ZabMsg::FollowerAck { .. } => {}
+            ZabMsg::ResyncRequest => {
+                if self.role == ZabRole::Leader {
+                    ctx.send(
+                        from,
+                        ZabMsg::NewLeader {
+                            epoch: self.epoch,
+                            history: self.log.clone(),
+                            committed: self.committed,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -745,6 +863,60 @@ mod tests {
         assert_eq!(reference.len(), 42);
         for &n in &ensemble[1..] {
             assert_eq!(sim.node::<ZabNode>(n).applied_log(), reference);
+        }
+    }
+
+    #[test]
+    fn fast_leader_restart_rejoins_as_follower_without_forking() {
+        // Crash the leader and restart it amnesiac *within* the election
+        // timeout, while its followers still believe in it. Booted via
+        // `recovering`, it must come back as a follower — an amnesiac
+        // node that reclaimed epoch-1 leadership would reuse committed
+        // zxids and fork the log.
+        let (mut sim, ensemble) = build(5, 5, 9);
+        let cfg = ZabConfig {
+            participants: 5,
+            ..ZabConfig::default()
+        };
+        let client = sim.add_node(Box::new(TestClient {
+            target: NodeId(2),
+            ops: (0..30)
+                .map(|k| (Dur::millis(4 * k + 1), put(k, (k + 1) as u8)))
+                .collect(),
+            cursor: 0,
+            replies: Vec::new(),
+        }));
+        sim.run_for(Dur::millis(15));
+        sim.crash(NodeId(0));
+        sim.run_for(Dur::millis(5)); // well under the 20 ms election timeout
+        sim.restart(
+            NodeId(0),
+            Box::new(ZabNode::recovering(NodeId(0), ensemble.clone(), cfg)),
+        );
+        sim.run_for(Dur::millis(800));
+
+        assert_ne!(
+            sim.node::<ZabNode>(NodeId(0)).role(),
+            ZabRole::Leader,
+            "amnesiac node must not retain leadership"
+        );
+        // Writes flowed again after the election.
+        let replies = sim.node::<TestClient>(client).replies.len();
+        assert!(replies >= 20, "writes resumed: {replies}/30");
+        // Every node's applied log — the restarted one included — is a
+        // prefix of the longest; no fork.
+        let logs: Vec<Vec<(NodeId, u64)>> = ensemble
+            .iter()
+            .map(|&n| sim.node::<ZabNode>(n).applied_log())
+            .collect();
+        let longest = logs.iter().max_by_key(|l| l.len()).unwrap().clone();
+        for (i, log) in logs.iter().enumerate() {
+            assert!(
+                longest.starts_with(log),
+                "node {i} forked: {:?} vs {:?}",
+                &log[..log.len().min(8)],
+                &longest[..longest.len().min(8)]
+            );
         }
     }
 
