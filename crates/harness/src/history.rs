@@ -25,6 +25,7 @@
 //! from-the-future, and any read a trusted replica serves is ordered at
 //! or after its own apply point, so staleness flags are genuine.
 
+use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
@@ -291,6 +292,10 @@ impl<M: ProtocolMsg + 'static> Process<M> for HistoryClient<M> {
 
 /// Per-replica committed-state extraction the verdict needs, implemented
 /// for all four protocols.
+///
+/// Extraction takes the replica's process as `&dyn Any` so the same
+/// verdict runs over a [`Cluster`]'s simulated nodes *and* over the final
+/// processes recovered from a live TCP cluster ([`crate::live`]).
 pub trait ChaosProtocol: ProtocolMsg + Sized + 'static {
     /// Short protocol name for reports.
     const NAME: &'static str;
@@ -298,29 +303,23 @@ pub trait ChaosProtocol: ProtocolMsg + Sized + 'static {
     /// ZooKeeper model only promises sequential consistency).
     const LINEARIZABLE_READS: bool;
 
-    /// Per-key committed write order at `node`, as
+    /// Per-key committed write order at a replica, as
     /// `(client, op_id, local apply/commit time)`.
-    fn write_records(
-        cluster: &Cluster<Self>,
-        node: NodeId,
-    ) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>>;
+    fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>>;
 
-    /// The full committed order at `node` as `(client, op_id)` pairs, for
-    /// protocols with a total order (`None` where only per-key order is
-    /// defined, i.e. EPaxos).
-    fn global_log(cluster: &Cluster<Self>, node: NodeId) -> Option<Vec<(NodeId, u64)>>;
+    /// The full committed order at a replica as `(client, op_id)` pairs,
+    /// for protocols with a total order (`None` where only per-key order
+    /// is defined, i.e. EPaxos).
+    fn global_log(process: &dyn Any) -> Option<Vec<(NodeId, u64)>>;
 }
 
 impl ChaosProtocol for CanopusMsg {
     const NAME: &'static str = "canopus";
     const LINEARIZABLE_READS: bool = true;
 
-    fn write_records(
-        cluster: &Cluster<Self>,
-        node: NodeId,
-    ) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
+    fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
         let mut out: BTreeMap<Key, Vec<(NodeId, u64, Time)>> = BTreeMap::new();
-        let n = cluster.sim.node::<CanopusNode>(node);
+        let n = process.downcast_ref::<CanopusNode>().expect("canopus node");
         for cc in n.committed_log() {
             for set in &cc.sets {
                 for op in &set.ops {
@@ -336,8 +335,8 @@ impl ChaosProtocol for CanopusMsg {
         out
     }
 
-    fn global_log(cluster: &Cluster<Self>, node: NodeId) -> Option<Vec<(NodeId, u64)>> {
-        let n = cluster.sim.node::<CanopusNode>(node);
+    fn global_log(process: &dyn Any) -> Option<Vec<(NodeId, u64)>> {
+        let n = process.downcast_ref::<CanopusNode>().expect("canopus node");
         Some(
             n.committed_log()
                 .iter()
@@ -358,18 +357,15 @@ impl ChaosProtocol for EpaxosMsg {
     const NAME: &'static str = "epaxos";
     const LINEARIZABLE_READS: bool = true;
 
-    fn write_records(
-        cluster: &Cluster<Self>,
-        node: NodeId,
-    ) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
-        cluster
-            .sim
-            .node::<EpaxosNode>(node)
+    fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
+        process
+            .downcast_ref::<EpaxosNode>()
+            .expect("epaxos node")
             .write_log_timed()
             .clone()
     }
 
-    fn global_log(_cluster: &Cluster<Self>, _node: NodeId) -> Option<Vec<(NodeId, u64)>> {
+    fn global_log(_process: &dyn Any) -> Option<Vec<(NodeId, u64)>> {
         None // EPaxos only orders interfering commands; per-key order is the contract.
     }
 }
@@ -378,12 +374,10 @@ impl ChaosProtocol for ZabMsg {
     const NAME: &'static str = "zab";
     const LINEARIZABLE_READS: bool = false; // local reads: sequential consistency.
 
-    fn write_records(
-        cluster: &Cluster<Self>,
-        node: NodeId,
-    ) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
+    fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
         let mut out: BTreeMap<Key, Vec<(NodeId, u64, Time)>> = BTreeMap::new();
-        for (key, client, op_id) in cluster.sim.node::<ZabNode>(node).applied_ops() {
+        let n = process.downcast_ref::<ZabNode>().expect("zab node");
+        for (key, client, op_id) in n.applied_ops() {
             if let Some(key) = key {
                 out.entry(key)
                     .or_default()
@@ -393,8 +387,13 @@ impl ChaosProtocol for ZabMsg {
         out
     }
 
-    fn global_log(cluster: &Cluster<Self>, node: NodeId) -> Option<Vec<(NodeId, u64)>> {
-        Some(cluster.sim.node::<ZabNode>(node).applied_log())
+    fn global_log(process: &dyn Any) -> Option<Vec<(NodeId, u64)>> {
+        Some(
+            process
+                .downcast_ref::<ZabNode>()
+                .expect("zab node")
+                .applied_log(),
+        )
     }
 }
 
@@ -402,19 +401,22 @@ impl ChaosProtocol for RaftKvMsg {
     const NAME: &'static str = "raftkv";
     const LINEARIZABLE_READS: bool = true;
 
-    fn write_records(
-        cluster: &Cluster<Self>,
-        node: NodeId,
-    ) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
-        cluster
-            .sim
-            .node::<RaftKvNode>(node)
+    fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
+        process
+            .downcast_ref::<RaftKvNode>()
+            .expect("raftkv node")
             .write_log_timed()
             .clone()
     }
 
-    fn global_log(cluster: &Cluster<Self>, node: NodeId) -> Option<Vec<(NodeId, u64)>> {
-        Some(cluster.sim.node::<RaftKvNode>(node).applied_log().to_vec())
+    fn global_log(process: &dyn Any) -> Option<Vec<(NodeId, u64)>> {
+        Some(
+            process
+                .downcast_ref::<RaftKvNode>()
+                .expect("raftkv node")
+                .applied_log()
+                .to_vec(),
+        )
     }
 }
 
@@ -445,6 +447,17 @@ impl ChaosReport {
     }
 }
 
+/// One client's recorded history, bound to the protocol node it talked to.
+pub struct ClientHistory<'a> {
+    /// The protocol node this client targets (drives convergence
+    /// exemptions).
+    pub node: NodeId,
+    /// The client's own node id.
+    pub client: NodeId,
+    /// The recorded operation history.
+    pub ops: &'a [HistoryOp],
+}
+
 /// Runs the full verdict: agreement (global and per-key), client FIFO,
 /// linearizability of reads (where the protocol promises it), and
 /// post-heal convergence.
@@ -460,6 +473,45 @@ pub fn chaos_verdict<M: ChaosProtocol>(
     converge_after: Time,
     convergence_exempt: &BTreeSet<NodeId>,
 ) -> ChaosReport {
+    let trusted_ids = cluster.trusted_nodes();
+    let trusted: Vec<(NodeId, &dyn Any)> = trusted_ids
+        .iter()
+        .map(|&n| (n, cluster.sim.node_any(n)))
+        .collect();
+    let clients: Vec<ClientHistory<'_>> = cluster
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| trusted_ids.contains(node))
+        .map(|(i, &node)| {
+            let client = cluster.clients[i];
+            ClientHistory {
+                node,
+                client,
+                ops: cluster.sim.node::<HistoryClient<M>>(client).ops(),
+            }
+        })
+        .collect();
+    chaos_verdict_parts::<M>(&trusted, &clients, converge_after, convergence_exempt, true)
+}
+
+/// The verdict core, decoupled from any cluster representation.
+///
+/// `trusted` holds the trusted replicas' final processes; `clients` the
+/// trusted clients' recorded histories. `check_lin` gates the
+/// [`LinChecker`] pass: virtual-time runs enable it (one shared clock),
+/// while live TCP runs disable it — each live node measures time from its
+/// own spawn instant, and millisecond-level clock-base skew would make
+/// cross-node read/write timing comparisons unsound. Read *validity*
+/// (every read observes a value some trusted replica committed) is
+/// checked regardless, it needs no common clock.
+pub fn chaos_verdict_parts<M: ChaosProtocol>(
+    trusted: &[(NodeId, &dyn Any)],
+    clients: &[ClientHistory<'_>],
+    converge_after: Time,
+    convergence_exempt: &BTreeSet<NodeId>,
+    check_lin: bool,
+) -> ChaosReport {
     let mut report = ChaosReport {
         protocol: M::NAME,
         ops_ok: 0,
@@ -467,27 +519,24 @@ pub fn chaos_verdict<M: ChaosProtocol>(
         reads_checked: 0,
         violations: Vec::new(),
     };
-    let trusted = cluster.trusted_nodes();
 
     // 1. Global agreement, where the protocol defines a total order.
     let global: Vec<Vec<(NodeId, u64)>> = trusted
         .iter()
-        .filter_map(|&n| M::global_log(cluster, n))
+        .filter_map(|&(_, p)| M::global_log(p))
         .collect();
     if !global.is_empty() {
         if let Err(d) = check_agreement(&global) {
             report.violations.push(format!(
                 "global agreement violated at index {} by replica {} ({:?})",
-                d.index, d.replica, trusted[d.replica]
+                d.index, d.replica, trusted[d.replica].0
             ));
         }
     }
 
     // 2. Per-key agreement, and the reference write order for versioning.
-    let per_node: Vec<BTreeMap<Key, Vec<(NodeId, u64, Time)>>> = trusted
-        .iter()
-        .map(|&n| M::write_records(cluster, n))
-        .collect();
+    let per_node: Vec<BTreeMap<Key, Vec<(NodeId, u64, Time)>>> =
+        trusted.iter().map(|&(_, p)| M::write_records(p)).collect();
     let all_keys: BTreeSet<Key> = per_node.iter().flat_map(|m| m.keys().copied()).collect();
     // Per key: the agreed order (longest replica) and, per version, the
     // earliest apply time across trusted replicas.
@@ -505,7 +554,7 @@ pub fn chaos_verdict<M: ChaosProtocol>(
             report.violations.push(format!(
                 "per-key write order diverged on key {key} at version {} (replica {:?})",
                 d.index + 1,
-                trusted[d.replica]
+                trusted[d.replica].0
             ));
         }
         let longest = per_node
@@ -528,7 +577,7 @@ pub fn chaos_verdict<M: ChaosProtocol>(
 
     // 3. Walk trusted clients' histories.
     let mut checker = LinChecker::new();
-    if M::LINEARIZABLE_READS {
+    if M::LINEARIZABLE_READS && check_lin {
         for (&key, order) in &reference {
             for (v, &(_, _, at)) in order.iter().enumerate() {
                 checker.record_write(WriteObs {
@@ -540,15 +589,12 @@ pub fn chaos_verdict<M: ChaosProtocol>(
         }
     }
     let mut reads: Vec<ReadObs> = Vec::new();
-    for (i, &node) in cluster.nodes.iter().enumerate() {
-        if !trusted.contains(&node) {
-            continue;
-        }
-        let client_id = cluster.clients[i];
-        let client = cluster.sim.node::<HistoryClient<M>>(client_id);
+    for ch in clients {
+        let node = ch.node;
+        let client_id = ch.client;
         let mut replies: Vec<(u64, ReplyEvent)> = Vec::new();
         let mut converged = false;
-        for op in client.ops() {
+        for op in ch.ops {
             if op.timed_out_at.is_some() {
                 report.ops_timed_out += 1;
             }
@@ -628,7 +674,7 @@ pub fn chaos_verdict<M: ChaosProtocol>(
 
     // 4. Linearizability of the collected reads.
     report.reads_checked = reads.len();
-    if M::LINEARIZABLE_READS {
+    if M::LINEARIZABLE_READS && check_lin {
         for v in checker.check_all(&reads) {
             report
                 .violations

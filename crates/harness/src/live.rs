@@ -1,0 +1,579 @@
+//! Live-cluster chaos: the nemesis engine over real TCP sockets.
+//!
+//! [`LiveCluster`] spawns a protocol deployment plus one
+//! [`HistoryClient`] per node on the thread-based TCP transport
+//! (`canopus_net::tcp`), every loop sharing one [`FaultRules`] table.
+//! [`LiveCluster::run_plan`] then replays the *same* [`FaultPlan`]s the
+//! simulator suite uses, on the wall clock:
+//!
+//! * network actions (cuts, isolation, loss) are installed into the
+//!   shared [`FaultRules`], which the transport consults on its send and
+//!   receive paths — the live analogue of the simulator's
+//!   `PartitionableFabric<LossyFabric<_>>`;
+//! * `Crash` stops the node's loop (keeping its final process state) and
+//!   marks it crashed in the rules so peers drop its traffic;
+//! * `Restart` rebuilds a replacement process through the cluster's
+//!   per-protocol [`RestartFactory`] — the same policies the simulator
+//!   uses (ZAB resyncs as a recovering follower, Raft KV recovers its
+//!   durable state, EPaxos re-installs a crash-stop silent node) — and
+//!   respawns the loop on the *same* listening socket (kept alive across
+//!   the crash via `TcpListener::try_clone`, so no rebind race).
+//!
+//! After the run, [`LiveCluster::shutdown`] collects every final process
+//! and [`LiveOutcome::verdict`] runs the shared chaos verdict: agreement,
+//! client FIFO, read validity, and post-heal convergence. The
+//! linearizability *timing* check is skipped — live nodes measure time
+//! from their own spawn instants, and cross-node clock-base skew makes
+//! read/write interval comparisons unsound (see
+//! [`crate::history::chaos_verdict_parts`]).
+//!
+//! # Timing
+//!
+//! All real-time-sensitive timeouts derive from one constant,
+//! [`LIVE_TIME_UNIT`]: the simulator's microsecond-scale defaults assume
+//! a deterministic scheduler, and on a real OS a descheduled thread
+//! would trigger false failovers (PR 1 learned this with
+//! `examples/live_cluster.rs`; this module centralizes the relaxed
+//! values instead of scattering magic numbers).
+//!
+//! # Canopus crash scenarios
+//!
+//! Canopus restarts are *not* driven over live sockets yet: the
+//! simulator relies on the crashed node being tombstoned before its
+//! fresh replacement boots (its failure detector fires in tens of
+//! milliseconds of virtual time), while the live failure timeout is
+//! deliberately long to avoid false positives — so an amnesiac super-leaf
+//! Raft member could rejoin un-tombstoned. Until the rejoin protocol
+//! lands (ROADMAP), the live suite exercises Canopus under partitions and
+//! loss, and crash/restart under ZAB and Raft KV, whose recovery paths
+//! are sound without a failure-detector race.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Instant;
+
+use canopus::{CanopusConfig, CanopusMsg, CanopusNode, CycleTrigger, EmulationTable, LotShape};
+use canopus_net::tcp::{spawn_node_with_rules, PeerMap, TcpNodeHandle};
+use canopus_net::{FaultRules, Wire};
+use canopus_raft::RaftConfig;
+use canopus_sim::fault::{FaultAction, FaultPlan, NemesisFabric, NemesisSchedule};
+use canopus_sim::{Dur, NodeId, Payload, Process, Time};
+use canopus_zab::{ZabConfig, ZabMsg, ZabNode};
+
+use crate::cluster::RestartFactory;
+use crate::history::{
+    chaos_verdict_parts, ChaosProtocol, ChaosReport, ClientHistory, HistoryClient, HistoryConfig,
+};
+use crate::raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode};
+use crate::scenarios::{ChaosTimeline, ChaosTopology};
+
+/// One real-time "tick" for live clusters. Every live election, failure,
+/// and fetch timeout is a multiple of this — change it here to retune the
+/// whole live stack (e.g. for slow CI machines).
+pub const LIVE_TIME_UNIT: Dur = Dur::millis(50);
+
+/// Raft timing for live sockets: 1-unit heartbeats, 6–12-unit elections
+/// (the values PR 1 validated under concurrent stress on loaded hosts).
+pub fn live_raft_config() -> RaftConfig {
+    RaftConfig {
+        heartbeat_interval: LIVE_TIME_UNIT,
+        election_timeout_min: LIVE_TIME_UNIT * 6,
+        election_timeout_max: LIVE_TIME_UNIT * 12,
+    }
+}
+
+/// Canopus configuration for live sockets: self-clocked cycles, 4-unit
+/// fetch retries, and a 40-unit (2 s) failure detector so OS scheduling
+/// hiccups never look like node failures.
+pub fn live_canopus_config() -> CanopusConfig {
+    CanopusConfig {
+        trigger: CycleTrigger::OnCommit,
+        fetch_timeout: LIVE_TIME_UNIT * 4,
+        failure_timeout: LIVE_TIME_UNIT * 40,
+        tick_interval: LIVE_TIME_UNIT / 5,
+        raft: live_raft_config(),
+        record_log: false,
+        ..CanopusConfig::default()
+    }
+}
+
+/// ZAB configuration for live sockets (8-unit election silence).
+pub fn live_zab_config(participants: usize) -> ZabConfig {
+    ZabConfig {
+        participants,
+        heartbeat: LIVE_TIME_UNIT,
+        election_timeout: LIVE_TIME_UNIT * 8,
+        tick_interval: LIVE_TIME_UNIT / 5,
+        ..ZabConfig::default()
+    }
+}
+
+/// Raft KV configuration for live sockets.
+pub fn live_raftkv_config() -> RaftKvConfig {
+    RaftKvConfig {
+        raft: live_raft_config(),
+        tick_interval: LIVE_TIME_UNIT / 5,
+        ..RaftKvConfig::default()
+    }
+}
+
+/// The wall-clock chaos schedule matched to the live timeouts: faults at
+/// 6 units, heal at 24, convergence probes from 30, clients stop at 40,
+/// run ends at 45 (2.25 s per run with the default unit).
+pub fn live_timeline() -> ChaosTimeline {
+    ChaosTimeline {
+        fault_at: LIVE_TIME_UNIT * 6,
+        heal_at: LIVE_TIME_UNIT * 24,
+        probe_at: LIVE_TIME_UNIT * 30,
+        stop_at: LIVE_TIME_UNIT * 40,
+        run_for: LIVE_TIME_UNIT * 45,
+    }
+}
+
+/// The live suite's deployment: two super-leaves of three — the smallest
+/// shape where every live protocol tolerates the catalog faults, kept
+/// lean because each node is a handful of real OS threads.
+pub fn live_topology() -> ChaosTopology {
+    ChaosTopology {
+        groups: 2,
+        per_group: 3,
+    }
+}
+
+/// History-client parameters matched to [`live_timeline`] — like every
+/// other live timeout they derive from [`LIVE_TIME_UNIT`], so raising the
+/// unit retunes the clients along with the protocols (at the default
+/// 50 ms unit: 150 ms op timeout, 6.25 ms gap, 3.125 ms tick — the same
+/// scale as the simulator suite's 150/6/3 ms).
+pub fn live_history_config() -> HistoryConfig {
+    let t = live_timeline();
+    HistoryConfig {
+        op_timeout: LIVE_TIME_UNIT * 3,
+        gap: LIVE_TIME_UNIT / 8,
+        tick: LIVE_TIME_UNIT / 16,
+        probe_at: Time::ZERO + t.probe_at,
+        stop_at: Time::ZERO + t.stop_at,
+        ..HistoryConfig::default()
+    }
+}
+
+struct LiveSlot<M: Payload> {
+    id: NodeId,
+    /// Keeps the listening socket alive across crash/restart cycles; the
+    /// running loop gets a `try_clone` of it.
+    listener: TcpListener,
+    handle: Option<TcpNodeHandle<M>>,
+}
+
+/// A protocol deployment plus its history clients on loopback TCP, with
+/// runtime fault injection.
+pub struct LiveCluster<M: ChaosProtocol + Wire + Send> {
+    seed: u64,
+    start: Instant,
+    rules: Arc<FaultRules>,
+    peers: PeerMap,
+    nodes: Vec<LiveSlot<M>>,
+    clients: Vec<LiveSlot<M>>,
+    /// Final states of currently-crashed nodes (fed to the restart
+    /// factory, mirroring `Simulation::take_crashed`).
+    down: BTreeMap<NodeId, Box<dyn Process<M>>>,
+    ever_crashed: BTreeSet<NodeId>,
+    restart_factory: RestartFactory<M>,
+}
+
+impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
+    /// Binds `n` protocol nodes and `n` clients (ids `n..2n`) on loopback
+    /// ephemeral ports and spawns every loop. `make_node(id)` builds the
+    /// protocol processes; clients are [`HistoryClient`]s targeting their
+    /// co-indexed node.
+    pub fn spawn(
+        n: usize,
+        hcfg: &HistoryConfig,
+        seed: u64,
+        mut make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
+        restart_factory: RestartFactory<M>,
+    ) -> Self {
+        let rules = Arc::new(FaultRules::new(seed));
+        let mut peers = PeerMap::new();
+        let bind = |id: NodeId, peers: &mut PeerMap| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            peers.insert(id, listener.local_addr().expect("local addr"));
+            listener
+        };
+        let node_listeners: Vec<TcpListener> =
+            (0..n).map(|i| bind(NodeId(i as u32), &mut peers)).collect();
+        let client_listeners: Vec<TcpListener> = (0..n)
+            .map(|i| bind(NodeId((n + i) as u32), &mut peers))
+            .collect();
+
+        let mut cluster = LiveCluster {
+            seed,
+            start: Instant::now(),
+            rules,
+            peers,
+            nodes: Vec::with_capacity(n),
+            clients: Vec::with_capacity(n),
+            down: BTreeMap::new(),
+            ever_crashed: BTreeSet::new(),
+            restart_factory,
+        };
+        for (i, listener) in node_listeners.into_iter().enumerate() {
+            let id = NodeId(i as u32);
+            let handle = cluster.launch(id, &listener, make_node(id));
+            cluster.nodes.push(LiveSlot {
+                id,
+                listener,
+                handle: Some(handle),
+            });
+        }
+        for (i, listener) in client_listeners.into_iter().enumerate() {
+            let id = NodeId((n + i) as u32);
+            let client = HistoryClient::<M>::new(i, n, NodeId(i as u32), hcfg.clone());
+            let handle = cluster.launch(id, &listener, Box::new(client));
+            cluster.clients.push(LiveSlot {
+                id,
+                listener,
+                handle: Some(handle),
+            });
+        }
+        cluster
+    }
+
+    fn launch(
+        &self,
+        id: NodeId,
+        listener: &TcpListener,
+        process: Box<dyn Process<M>>,
+    ) -> TcpNodeHandle<M> {
+        let listener = listener.try_clone().expect("clone listener");
+        spawn_node_with_rules(
+            id,
+            process,
+            listener,
+            self.peers.clone(),
+            self.seed.wrapping_add(id.0 as u64),
+            Arc::clone(&self.rules),
+        )
+    }
+
+    /// Wall-clock time since the cluster started, as a [`Time`].
+    pub fn now(&self) -> Time {
+        Time::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// The shared fault table (e.g. for ad-hoc faults outside a plan).
+    pub fn rules(&self) -> &Arc<FaultRules> {
+        &self.rules
+    }
+
+    /// Protocol node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|s| s.id).collect()
+    }
+
+    /// Replays `plan` against the live cluster over the next `horizon` of
+    /// wall-clock time, sleeping between actions and applying each at its
+    /// scheduled instant (±OS scheduling). Returns the applied timeline.
+    pub fn run_plan(&mut self, plan: &FaultPlan, horizon: Dur) -> Vec<(Time, FaultAction)> {
+        let anchor = self.now();
+        let end = anchor + horizon;
+        let mut sched = NemesisSchedule::new(plan, anchor, horizon);
+        loop {
+            let target = match sched.next_at() {
+                Some(at) if at <= end => at,
+                _ => break,
+            };
+            self.sleep_until(target);
+            while let Some((at, action)) = sched.pop_due(self.now()) {
+                self.apply(at, action, &mut sched);
+            }
+        }
+        self.sleep_until(end);
+        sched.applied().to_vec()
+    }
+
+    fn sleep_until(&self, at: Time) {
+        let now = self.now();
+        if at > now {
+            std::thread::sleep(std::time::Duration::from_nanos(
+                at.saturating_since(now).as_nanos(),
+            ));
+        }
+    }
+
+    fn apply(&mut self, at: Time, action: FaultAction, sched: &mut NemesisSchedule) {
+        match &action {
+            FaultAction::Cut(a, b) => self.nemesis_cut_groups(a, b),
+            FaultAction::Heal(a, b) => self.nemesis_heal_groups(a, b),
+            FaultAction::HealAll => self.nemesis_heal_all(),
+            FaultAction::SetLoss(p) => self.nemesis_set_loss(*p),
+            FaultAction::SetNodeOutLoss(n, p) => self.nemesis_set_node_out_loss(*n, *p),
+            FaultAction::Isolate(n) => self.nemesis_isolate(*n),
+            FaultAction::Crash(n) => {
+                if self.crash(*n) {
+                    self.ever_crashed.insert(*n);
+                }
+            }
+            FaultAction::Restart(n) => self.restart(*n),
+        }
+        sched.record(at, action);
+    }
+
+    /// Crash-stops a live node: peers start dropping its traffic, then its
+    /// loop is stopped and its final state kept for the restart factory.
+    /// Returns `false` if the node was already down.
+    fn crash(&mut self, id: NodeId) -> bool {
+        let slot = &mut self.nodes[id.0 as usize];
+        let Some(handle) = slot.handle.take() else {
+            return false;
+        };
+        // Mark first so in-flight traffic is dropped while the loop winds
+        // down — the closest live analogue of an instantaneous crash.
+        self.rules.set_crashed(id, true);
+        let process = handle.stop();
+        self.down.insert(id, process);
+        true
+    }
+
+    /// Restarts a crashed node through the restart factory, on the same
+    /// listening socket. No-op if the node is up.
+    fn restart(&mut self, id: NodeId) {
+        if self.nodes[id.0 as usize].handle.is_some() {
+            return;
+        }
+        let old = self.down.remove(&id);
+        let process = (self.restart_factory)(id, old);
+        let listener = self.nodes[id.0 as usize]
+            .listener
+            .try_clone()
+            .expect("clone listener");
+        // Clear the crash mark before the replacement loop starts, or its
+        // first sends and receives race the still-set mark and get
+        // dropped (the mirror of crash()'s mark-before-stop ordering).
+        self.rules.set_crashed(id, false);
+        let handle = self.launch(id, &listener, process);
+        self.nodes[id.0 as usize].handle = Some(handle);
+    }
+
+    /// Stops every loop (clients first, so no new operations race the
+    /// teardown) and returns the final processes for the verdict.
+    pub fn shutdown(mut self) -> LiveOutcome<M> {
+        let mut clients = Vec::with_capacity(self.clients.len());
+        for (i, slot) in self.clients.iter_mut().enumerate() {
+            let handle = slot.handle.take().expect("clients are never crashed");
+            clients.push((slot.id, NodeId(i as u32), handle.stop()));
+        }
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for slot in &mut self.nodes {
+            match slot.handle.take() {
+                Some(handle) => nodes.push((slot.id, handle.stop(), true)),
+                None => {
+                    let process = self
+                        .down
+                        .remove(&slot.id)
+                        .expect("crashed node state retained");
+                    nodes.push((slot.id, process, false));
+                }
+            }
+        }
+        LiveOutcome {
+            nodes,
+            clients,
+            ever_crashed: self.ever_crashed,
+        }
+    }
+}
+
+/// Network fault actions map straight onto the shared [`FaultRules`]
+/// table — the live counterpart of the simulator fabric's implementation.
+impl<M: ChaosProtocol + Wire + Send> NemesisFabric for LiveCluster<M> {
+    fn nemesis_cut_groups(&mut self, a: &[NodeId], b: &[NodeId]) {
+        self.rules.cut_groups(a, b);
+    }
+    fn nemesis_heal_groups(&mut self, a: &[NodeId], b: &[NodeId]) {
+        self.rules.heal_groups(a, b);
+    }
+    fn nemesis_heal_all(&mut self) {
+        self.rules.heal_all();
+    }
+    fn nemesis_set_loss(&mut self, loss: f64) {
+        self.rules.set_loss(loss);
+    }
+    fn nemesis_set_node_out_loss(&mut self, node: NodeId, loss: f64) {
+        self.rules.set_out_loss(node, loss);
+    }
+    fn nemesis_isolate(&mut self, node: NodeId) {
+        self.rules.isolate(node);
+    }
+}
+
+/// The final state of a live run: every node's and client's process,
+/// ready for the chaos verdict.
+pub struct LiveOutcome<M: ChaosProtocol> {
+    /// `(id, final process, was up at shutdown)` for every protocol node.
+    pub nodes: Vec<(NodeId, Box<dyn Process<M>>, bool)>,
+    /// `(client id, its node, final process)` for every client.
+    pub clients: Vec<(NodeId, NodeId, Box<dyn Process<M>>)>,
+    /// Nodes the nemesis crashed at least once.
+    pub ever_crashed: BTreeSet<NodeId>,
+}
+
+impl<M: ChaosProtocol> LiveOutcome<M> {
+    /// Nodes held to the full safety and convergence bar: up at shutdown
+    /// and never crashed.
+    pub fn trusted_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(id, _, up)| *up && !self.ever_crashed.contains(id))
+            .map(|&(id, _, _)| id)
+            .collect()
+    }
+
+    /// A client's recorded history.
+    pub fn client_ops(&self, client: NodeId) -> &[crate::history::HistoryOp] {
+        let (_, _, p) = self
+            .clients
+            .iter()
+            .find(|(id, _, _)| *id == client)
+            .expect("known client");
+        p.as_any()
+            .downcast_ref::<HistoryClient<M>>()
+            .expect("history client")
+            .ops()
+    }
+
+    /// Runs the shared chaos verdict over the recovered states: agreement
+    /// (global + per-key), client FIFO, read validity, and post-heal
+    /// convergence. Linearizability timing is skipped (no common clock
+    /// across live nodes).
+    pub fn verdict(
+        &self,
+        converge_after: Time,
+        convergence_exempt: &BTreeSet<NodeId>,
+    ) -> ChaosReport {
+        let trusted_ids = self.trusted_nodes();
+        let trusted: Vec<(NodeId, &dyn Any)> = self
+            .nodes
+            .iter()
+            .filter(|(id, _, _)| trusted_ids.contains(id))
+            .map(|(id, p, _)| (*id, p.as_any()))
+            .collect();
+        let clients: Vec<ClientHistory<'_>> = self
+            .clients
+            .iter()
+            .filter(|(_, node, _)| trusted_ids.contains(node))
+            .map(|(client, node, p)| ClientHistory {
+                node: *node,
+                client: *client,
+                ops: p
+                    .as_any()
+                    .downcast_ref::<HistoryClient<M>>()
+                    .expect("history client")
+                    .ops(),
+            })
+            .collect();
+        chaos_verdict_parts::<M>(
+            &trusted,
+            &clients,
+            converge_after,
+            convergence_exempt,
+            false,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-protocol live builders
+// ---------------------------------------------------------------------
+
+/// A live Canopus cluster (commit-log recording on, for the verdict).
+pub fn live_chaos_canopus(
+    topo: &ChaosTopology,
+    hcfg: &HistoryConfig,
+    seed: u64,
+) -> LiveCluster<CanopusMsg> {
+    let shape = LotShape::flat(topo.groups as u16);
+    let membership: Vec<Vec<NodeId>> = (0..topo.groups).map(|g| topo.leaf(g)).collect();
+    let table = EmulationTable::new(shape, membership);
+    let cfg = CanopusConfig {
+        record_log: true,
+        ..live_canopus_config()
+    };
+    let restart_table = table.clone();
+    let restart_cfg = cfg.clone();
+    LiveCluster::spawn(
+        topo.node_count(),
+        hcfg,
+        seed,
+        |id| Box::new(CanopusNode::new(id, table.clone(), cfg.clone(), seed)),
+        Box::new(move |id, _old| {
+            Box::new(CanopusNode::new(
+                id,
+                restart_table.clone(),
+                restart_cfg.clone(),
+                seed,
+            ))
+        }),
+    )
+}
+
+/// A live ZAB cluster (≤ 5 quorum participants, the rest observers); a
+/// restarted node boots as a recovering follower and resyncs its history.
+pub fn live_chaos_zab(
+    topo: &ChaosTopology,
+    hcfg: &HistoryConfig,
+    seed: u64,
+) -> LiveCluster<ZabMsg> {
+    let n = topo.node_count();
+    let cfg = live_zab_config(n.min(5));
+    let ensemble: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let restart_ensemble = ensemble.clone();
+    let restart_cfg = cfg.clone();
+    LiveCluster::spawn(
+        n,
+        hcfg,
+        seed,
+        |id| Box::new(ZabNode::new(id, ensemble.clone(), cfg.clone())),
+        Box::new(move |id, _old| {
+            Box::new(ZabNode::recovering(
+                id,
+                restart_ensemble.clone(),
+                restart_cfg.clone(),
+            ))
+        }),
+    )
+}
+
+/// A live Raft KV cluster; a restarted node recovers its durable Raft
+/// state (term, vote, log) from the crashed process.
+pub fn live_chaos_raftkv(
+    topo: &ChaosTopology,
+    hcfg: &HistoryConfig,
+    seed: u64,
+) -> LiveCluster<RaftKvMsg> {
+    let n = topo.node_count();
+    let cfg = live_raftkv_config();
+    let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let restart_members = members.clone();
+    let restart_cfg = cfg.clone();
+    LiveCluster::spawn(
+        n,
+        hcfg,
+        seed,
+        |id| Box::new(RaftKvNode::new(id, members.clone(), cfg.clone(), seed)),
+        Box::new(move |id, old| {
+            let recovered = old.and_then(|p| p.into_any().downcast::<RaftKvNode>().ok());
+            match recovered {
+                Some(node) => Box::new(RaftKvNode::recover(&node, seed)),
+                None => Box::new(RaftKvNode::new(
+                    id,
+                    restart_members.clone(),
+                    restart_cfg.clone(),
+                    seed,
+                )),
+            }
+        }),
+    )
+}

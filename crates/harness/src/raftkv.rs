@@ -16,9 +16,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use canopus_kv::{ClientReply, ClientRequest, CostModel, Key, KvStore, Op, OpResult};
-use canopus_net::wire::Wire;
+use canopus_net::wire::{Wire, WireError, WireRead};
 use canopus_raft::{Entry, GroupId, Outbox, RaftConfig, RaftCore, RaftMsg};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Payload, Process, Time, Timer};
 use canopus_workload::ProtocolMsg;
@@ -66,6 +66,45 @@ impl ProtocolMsg for RaftKvMsg {
             RaftKvMsg::Reply(r) => Some(r),
             _ => None,
         }
+    }
+}
+
+// Wire encoding so the service also runs over the real TCP transport
+// (the live chaos suite drives it across loopback sockets).
+impl Wire for RaftKvMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            RaftKvMsg::Raft(m) => {
+                0u8.encode(buf);
+                m.encode(buf);
+            }
+            RaftKvMsg::Request(r) => {
+                1u8.encode(buf);
+                r.encode(buf);
+            }
+            RaftKvMsg::Forward { origin, req } => {
+                2u8.encode(buf);
+                origin.encode(buf);
+                req.encode(buf);
+            }
+            RaftKvMsg::Reply(r) => {
+                3u8.encode(buf);
+                r.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(match buf.read_u8()? {
+            0 => RaftKvMsg::Raft(Wire::decode(buf)?),
+            1 => RaftKvMsg::Request(Wire::decode(buf)?),
+            2 => RaftKvMsg::Forward {
+                origin: Wire::decode(buf)?,
+                req: Wire::decode(buf)?,
+            },
+            3 => RaftKvMsg::Reply(Wire::decode(buf)?),
+            _ => return Err(WireError::Invalid("RaftKvMsg tag")),
+        })
     }
 }
 

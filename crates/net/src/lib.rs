@@ -18,10 +18,14 @@
 //! * [`tcp`] — a thread-per-connection TCP driver (behind the `tcp`
 //!   feature, on by default) that runs unmodified [`canopus_sim::Process`]
 //!   state machines over real sockets.
+//! * [`fault`] — the runtime fault table ([`FaultRules`]) the TCP
+//!   transport consults, so the nemesis engine can partition, impair, and
+//!   crash a *live* cluster the same way it does a simulated one.
 
 #![warn(missing_docs)]
 
 pub mod clos;
+pub mod fault;
 #[cfg(feature = "tcp")]
 pub mod tcp;
 pub mod topology;
@@ -29,6 +33,7 @@ pub mod wan;
 pub mod wire;
 
 pub use clos::ClosFabric;
+pub use fault::FaultRules;
 pub use topology::{LinkParams, RackId, Topology};
 pub use wan::{SiteId, WanMatrix};
 pub use wire::{Wire, WireError, WireRead};

@@ -28,12 +28,25 @@ use canopus_sim::{Context, Effect, NodeId, Payload, Process, Time, Timer, TimerI
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::fault::FaultRules;
 use crate::wire::{Wire, WireError, MAX_FRAME};
 
 /// How long the node loop waits before re-checking the shutdown signal.
 const POLL_INTERVAL: StdDuration = StdDuration::from_millis(20);
 
+/// Largest chunk a frame's payload buffer grows by per read. A corrupt
+/// (or hostile) length prefix under [`MAX_FRAME`] therefore allocates in
+/// proportion to the bytes that actually arrive, never the claimed length
+/// up front.
+const READ_CHUNK: usize = 64 << 10;
+
 /// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF.
+///
+/// A length prefix above [`MAX_FRAME`] is rejected with an
+/// `InvalidData` error before any payload allocation, and the payload
+/// buffer grows incrementally ([`READ_CHUNK`] at a time) as bytes arrive,
+/// so a corrupt prefix can never trigger an unbounded — or even a large
+/// speculative — allocation.
 pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<Option<Bytes>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
@@ -48,8 +61,13 @@ pub fn read_frame<R: Read>(stream: &mut R) -> std::io::Result<Option<Bytes>> {
             WireError::TooLarge(len),
         ));
     }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let chunk = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + chunk, 0);
+        stream.read_exact(&mut payload[start..])?;
+    }
     Ok(Some(Bytes::from(payload)))
 }
 
@@ -133,13 +151,39 @@ impl Ord for TimerEntry {
 /// `listener` must already be bound; `peers` maps every destination the
 /// process will send to. Messages to unknown peers are dropped with a log
 /// line to stderr (consensus protocols treat this as loss).
+///
+/// Equivalent to [`run_node_with_rules`] with an empty, never-activated
+/// [`FaultRules`] table.
 pub fn run_node<M>(
+    id: NodeId,
+    process: Box<dyn Process<M>>,
+    listener: TcpListener,
+    peers: PeerMap,
+    shutdown: Receiver<()>,
+    seed: u64,
+) -> Box<dyn Process<M>>
+where
+    M: Wire + Payload + Send,
+{
+    let rules = Arc::new(FaultRules::new(seed));
+    run_node_with_rules(id, process, listener, peers, shutdown, seed, rules)
+}
+
+/// Runs one node over TCP with a shared runtime fault table.
+///
+/// `rules` is consulted on the send path (full verdict, including
+/// probabilistic loss) and on the receive path (deterministic cuts,
+/// isolation, and crash marks — so messages already in flight when a rule
+/// lands are still dropped). With no rules installed both checks are a
+/// single relaxed atomic load; see [`FaultRules`].
+pub fn run_node_with_rules<M>(
     id: NodeId,
     mut process: Box<dyn Process<M>>,
     listener: TcpListener,
     peers: PeerMap,
     shutdown: Receiver<()>,
     seed: u64,
+    rules: Arc<FaultRules>,
 ) -> Box<dyn Process<M>>
 where
     M: Wire + Payload + Send,
@@ -195,6 +239,7 @@ where
             &mut armed,
             &mut outbox,
             &peers,
+            &rules,
         );
     }
 
@@ -237,6 +282,7 @@ where
                             &mut armed,
                             &mut outbox,
                             &peers,
+                            &rules,
                         );
                     }
                 }
@@ -253,6 +299,11 @@ where
         };
         match inbox_rx.recv_timeout(wait) {
             Ok((from, msg)) => {
+                // Receive-path fault check: deterministic rules only (loss
+                // was already rolled once at the sender).
+                if rules.should_drop_link(from, id) {
+                    continue 'run;
+                }
                 let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
                 process.on_message(from, msg, &mut ctx);
                 let (effects, _) = ctx.into_effects();
@@ -264,6 +315,7 @@ where
                     &mut armed,
                     &mut outbox,
                     &peers,
+                    &rules,
                 );
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -309,12 +361,18 @@ fn apply_effects<M>(
     armed: &mut HashSet<u64>,
     outbox: &mut HashMap<NodeId, SyncSender<Bytes>>,
     peers: &PeerMap,
+    rules: &FaultRules,
 ) where
     M: Wire + Payload + Send,
 {
     for effect in effects {
         match effect {
             Effect::Send { to, msg } => {
+                // Send-path fault check: full verdict, including the
+                // probabilistic loss roll (exactly once per message).
+                if rules.should_drop(self_id, to) {
+                    continue;
+                }
                 let sender = outbox
                     .entry(to)
                     .or_insert_with(|| spawn_writer(self_id, to, peers.get(to)));
@@ -381,6 +439,33 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
     tx
 }
 
+/// Spawns [`run_node_with_rules`] on a fresh thread and returns the
+/// node's handle. `listener` must already be bound (its local address
+/// becomes the handle's `addr`).
+pub fn spawn_node_with_rules<M>(
+    id: NodeId,
+    process: Box<dyn Process<M>>,
+    listener: TcpListener,
+    peers: PeerMap,
+    seed: u64,
+    rules: Arc<FaultRules>,
+) -> TcpNodeHandle<M>
+where
+    M: Wire + Payload + Send,
+{
+    let addr = listener.local_addr().expect("local addr");
+    let (tx, rx) = mpsc::channel();
+    let join = std::thread::spawn(move || {
+        run_node_with_rules(id, process, listener, peers, rx, seed, rules)
+    });
+    TcpNodeHandle {
+        id,
+        addr,
+        shutdown: Some(tx),
+        join,
+    }
+}
+
 /// Spawns a whole cluster on loopback TCP with ephemeral ports.
 ///
 /// Returns one handle per process, in order. Intended for examples and
@@ -389,6 +474,20 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
 pub fn spawn_local_cluster<M>(
     processes: Vec<Box<dyn Process<M>>>,
     seed: u64,
+) -> Vec<TcpNodeHandle<M>>
+where
+    M: Wire + Payload + Send,
+{
+    spawn_local_cluster_with_rules(processes, seed, Arc::new(FaultRules::new(seed)))
+}
+
+/// [`spawn_local_cluster`] with a shared [`FaultRules`] table, so a test
+/// or nemesis driver can partition, impair, and heal the live cluster
+/// mid-run.
+pub fn spawn_local_cluster_with_rules<M>(
+    processes: Vec<Box<dyn Process<M>>>,
+    seed: u64,
+    rules: Arc<FaultRules>,
 ) -> Vec<TcpNodeHandle<M>>
 where
     M: Wire + Payload + Send,
@@ -402,26 +501,16 @@ where
         listeners.push((listener, addr));
     }
     let mut handles = Vec::new();
-    for (i, (process, (listener, addr))) in processes.into_iter().zip(listeners).enumerate() {
+    for (i, (process, (listener, _))) in processes.into_iter().zip(listeners).enumerate() {
         let id = NodeId(i as u32);
-        let (tx, rx) = mpsc::channel();
-        let peer_map = peers.clone();
-        let join = std::thread::spawn(move || {
-            run_node(
-                id,
-                process,
-                listener,
-                peer_map,
-                rx,
-                seed.wrapping_add(i as u64),
-            )
-        });
-        handles.push(TcpNodeHandle {
+        handles.push(spawn_node_with_rules(
             id,
-            addr,
-            shutdown: Some(tx),
-            join,
-        });
+            process,
+            listener,
+            peers.clone(),
+            seed.wrapping_add(i as u64),
+            Arc::clone(&rules),
+        ));
     }
     handles
 }
@@ -509,6 +598,57 @@ mod tests {
         let mut client = TcpStream::connect(addr).unwrap();
         client.write_all(&(u32::MAX).to_le_bytes()).unwrap();
         assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn huge_prefix_with_short_body_errors_without_upfront_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frame(&mut stream)
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        // A prefix just under the limit, but only 3 bytes of body: the
+        // reader must fail with UnexpectedEof after allocating at most one
+        // chunk, not reserve ~16 MiB for a stream that never delivers it.
+        client
+            .write_all(&((MAX_FRAME - 1) as u32).to_le_bytes())
+            .unwrap();
+        client.write_all(b"abc").unwrap();
+        drop(client);
+        let got = server.join().unwrap();
+        assert!(got.is_err(), "truncated oversized frame must error");
+    }
+
+    #[test]
+    fn fault_rules_cut_blocks_delivery_until_healed() {
+        let a = Counter {
+            peer: Some(NodeId(1)),
+            count: 50,
+            seen: Vec::new(),
+        };
+        let b = Counter {
+            peer: None,
+            count: 0,
+            seen: Vec::new(),
+        };
+        let rules = Arc::new(FaultRules::new(3));
+        rules.cut_groups(&[NodeId(0)], &[NodeId(1)]);
+        let handles =
+            spawn_local_cluster_with_rules::<Num>(vec![Box::new(a), Box::new(b)], 7, rules.clone());
+        std::thread::sleep(StdDuration::from_millis(200));
+        let mut processes = Vec::new();
+        for h in handles {
+            processes.push(h.stop());
+        }
+        let b_final = processes.pop().unwrap();
+        let counter = b_final.as_any().downcast_ref::<Counter>().expect("counter");
+        assert!(
+            counter.seen.is_empty(),
+            "cut link must drop everything, saw {:?}",
+            counter.seen
+        );
     }
 
     #[test]

@@ -272,13 +272,85 @@ impl<F> NemesisFabric for PartitionableFabric<LossyFabric<F>> {
 pub type RestartFn<'a, M> =
     &'a mut dyn FnMut(NodeId, Option<Box<dyn Process<M>>>) -> Box<dyn Process<M>>;
 
-/// Replays a [`FaultPlan`] timeline against a simulation as virtual time
-/// advances.
-pub struct NemesisDriver {
+/// The clock-agnostic core of a nemesis run: a cursor over the expanded
+/// action timeline plus the applied/crash bookkeeping every driver needs.
+///
+/// The schedule knows nothing about *how* time advances — the virtual-time
+/// [`NemesisDriver`] steps a [`Simulation`] between actions, while the
+/// wall-clock live driver in `canopus-harness` sleeps real time between
+/// them. Both pop due actions with [`NemesisSchedule::pop_due`], apply
+/// them to their respective fabrics, and record the outcome with
+/// [`NemesisSchedule::record`].
+pub struct NemesisSchedule {
     timeline: Vec<(Time, FaultAction)>,
     next: usize,
     applied: Vec<(Time, FaultAction)>,
     ever_crashed: BTreeSet<NodeId>,
+}
+
+impl NemesisSchedule {
+    /// Expands `plan` into a schedule anchored at `start`, bounded by
+    /// `start + horizon`.
+    pub fn new(plan: &FaultPlan, start: Time, horizon: Dur) -> Self {
+        NemesisSchedule {
+            timeline: plan.timeline(start, horizon),
+            next: 0,
+            applied: Vec::new(),
+            ever_crashed: BTreeSet::new(),
+        }
+    }
+
+    /// The instant of the next unapplied action, if any remain.
+    pub fn next_at(&self) -> Option<Time> {
+        self.timeline.get(self.next).map(|&(t, _)| t)
+    }
+
+    /// Pops the next action if it is due at or before `now`. The caller
+    /// applies it to its fabric, then calls [`NemesisSchedule::record`].
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, FaultAction)> {
+        match self.timeline.get(self.next) {
+            Some(&(at, _)) if at <= now => {
+                let entry = self.timeline[self.next].clone();
+                self.next += 1;
+                Some(entry)
+            }
+            _ => None,
+        }
+    }
+
+    /// Records an action as applied. `Crash` actions the caller actually
+    /// executed should also be reported via
+    /// [`NemesisSchedule::mark_crashed`].
+    pub fn record(&mut self, at: Time, action: FaultAction) {
+        self.applied.push((at, action));
+    }
+
+    /// Notes that `node` was genuinely crashed (it was alive when the
+    /// `Crash` action fired).
+    pub fn mark_crashed(&mut self, node: NodeId) {
+        self.ever_crashed.insert(node);
+    }
+
+    /// Whether every scheduled action has been popped.
+    pub fn finished(&self) -> bool {
+        self.next >= self.timeline.len()
+    }
+
+    /// The actions applied so far, with their application times.
+    pub fn applied(&self) -> &[(Time, FaultAction)] {
+        &self.applied
+    }
+
+    /// Nodes crashed at least once by this schedule.
+    pub fn ever_crashed(&self) -> &BTreeSet<NodeId> {
+        &self.ever_crashed
+    }
+}
+
+/// Replays a [`FaultPlan`] timeline against a simulation as virtual time
+/// advances.
+pub struct NemesisDriver {
+    sched: NemesisSchedule,
 }
 
 impl NemesisDriver {
@@ -286,10 +358,7 @@ impl NemesisDriver {
     /// `start + horizon`.
     pub fn new(plan: &FaultPlan, start: Time, horizon: Dur) -> Self {
         NemesisDriver {
-            timeline: plan.timeline(start, horizon),
-            next: 0,
-            applied: Vec::new(),
-            ever_crashed: BTreeSet::new(),
+            sched: NemesisSchedule::new(plan, start, horizon),
         }
     }
 
@@ -301,11 +370,11 @@ impl NemesisDriver {
         M: Payload,
         F: Fabric<M> + NemesisFabric,
     {
-        while self.next < self.timeline.len() && self.timeline[self.next].0 <= until {
-            let (at, action) = self.timeline[self.next].clone();
-            self.next += 1;
-            sim.run_until(at);
-            self.apply(sim, at, action, restart);
+        while let Some(next) = self.sched.next_at().filter(|&at| at <= until) {
+            sim.run_until(next);
+            while let Some((at, action)) = self.sched.pop_due(next) {
+                self.apply(sim, at, action, restart);
+            }
         }
         sim.run_until(until);
     }
@@ -332,7 +401,7 @@ impl NemesisDriver {
             FaultAction::Crash(n) => {
                 if sim.is_alive(*n) {
                     sim.crash(*n);
-                    self.ever_crashed.insert(*n);
+                    self.sched.mark_crashed(*n);
                 }
             }
             FaultAction::Restart(n) => {
@@ -342,22 +411,22 @@ impl NemesisDriver {
                 }
             }
         }
-        self.applied.push((at, action));
+        self.sched.record(at, action);
     }
 
     /// Whether every scheduled action has been applied.
     pub fn finished(&self) -> bool {
-        self.next >= self.timeline.len()
+        self.sched.finished()
     }
 
     /// The actions applied so far, with their application times.
     pub fn applied(&self) -> &[(Time, FaultAction)] {
-        &self.applied
+        self.sched.applied()
     }
 
     /// Nodes crashed at least once by this driver.
     pub fn ever_crashed(&self) -> &BTreeSet<NodeId> {
-        &self.ever_crashed
+        self.sched.ever_crashed()
     }
 }
 
@@ -448,6 +517,123 @@ mod tests {
         assert_eq!(cuts, 2);
         assert_eq!(heals, 2);
         assert!(matches!(tl.last().unwrap().1, FaultAction::HealAll));
+    }
+
+    #[test]
+    fn repeat_period_expansion_orders_copies_and_preserves_ties() {
+        // Two events per repetition; with a period shorter than the
+        // schedule span the copies interleave, and the sort must order by
+        // time first, insertion sequence second.
+        let plan = FaultPlan::new()
+            .at(Dur::millis(0), FaultEvent::Crash(n(0)))
+            .then(Dur::millis(8), FaultEvent::Restart(n(0)))
+            .repeat(1, Dur::millis(4));
+        let tl = plan.timeline(Time::ZERO, Dur::secs(1));
+        let times: Vec<u64> = tl.iter().map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(times, vec![0, 4, 8, 12], "copies interleave time-sorted");
+        assert_eq!(tl[1].1, FaultAction::Crash(n(0)), "copy's crash at 4ms");
+        assert_eq!(tl[2].1, FaultAction::Restart(n(0)));
+
+        // Degenerate period 0: every copy collides in time; insertion
+        // order (repetition-major) must break the ties deterministically.
+        let plan = FaultPlan::new()
+            .at(Dur::millis(1), FaultEvent::Crash(n(1)))
+            .then(Dur::millis(1), FaultEvent::Restart(n(1)))
+            .repeat(2, Dur::ZERO);
+        let tl = plan.timeline(Time::ZERO, Dur::secs(1));
+        let kinds: Vec<bool> = tl
+            .iter()
+            .map(|(_, a)| matches!(a, FaultAction::Crash(_)))
+            .collect();
+        assert_eq!(kinds, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn randomized_jitter_is_bounded_and_identical_across_identical_seeds() {
+        let base = || {
+            FaultPlan::new()
+                .at(Dur::millis(5), FaultEvent::Crash(n(0)))
+                .then(Dur::millis(5), FaultEvent::Restart(n(0)))
+                .repeat(3, Dur::millis(20))
+        };
+        let jitter = Dur::millis(4);
+        let a = base().randomized(99, jitter);
+        let b = base().randomized(99, jitter);
+        assert_eq!(
+            a.timeline(Time::ZERO, Dur::secs(1)),
+            b.timeline(Time::ZERO, Dur::secs(1)),
+            "identical seeds must jitter identically"
+        );
+        // Every jittered offset stays within [original, original + jitter).
+        for ((d, _), (orig, _)) in a.events().iter().zip(base().events()) {
+            assert!(*d >= *orig, "jitter never moves events earlier");
+            assert!(
+                *d < *orig + jitter,
+                "jitter bounded: {d:?} vs {orig:?} + {jitter:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flap_boundary_at_horizon_is_exclusive_and_leaves_link_healed() {
+        // Toggles at 0 (cut), 10 (heal), 20 (cut); the toggle that would
+        // land exactly on the 30 ms horizon must NOT fire — the window is
+        // half-open — and the dangling cut is closed by a forced heal at
+        // the horizon itself.
+        let plan = FaultPlan::new().at(
+            Dur::millis(0),
+            FaultEvent::FlapLink {
+                a: vec![n(0)],
+                b: vec![n(1)],
+                period: Dur::millis(10),
+            },
+        );
+        let tl = plan.timeline(Time::ZERO, Dur::millis(30));
+        let times: Vec<u64> = tl.iter().map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(times, vec![0, 10, 20, 30]);
+        assert!(matches!(tl[2].1, FaultAction::Cut(..)));
+        assert!(
+            matches!(tl[3].1, FaultAction::Heal(..)),
+            "forced heal exactly at the horizon"
+        );
+        // A flap scheduled exactly at the horizon produces no toggles at
+        // all (when < stop is false immediately) and needs no closing heal.
+        let plan = FaultPlan::new().at(
+            Dur::millis(30),
+            FaultEvent::FlapLink {
+                a: vec![n(0)],
+                b: vec![n(1)],
+                period: Dur::millis(10),
+            },
+        );
+        assert!(plan.timeline(Time::ZERO, Dur::millis(30)).is_empty());
+    }
+
+    #[test]
+    fn schedule_cursor_pops_in_order_and_tracks_bookkeeping() {
+        let plan = FaultPlan::new()
+            .at(Dur::millis(10), FaultEvent::Crash(n(2)))
+            .then(Dur::millis(10), FaultEvent::Restart(n(2)))
+            .then(Dur::millis(10), FaultEvent::HealAll);
+        let mut sched = NemesisSchedule::new(&plan, Time::ZERO, Dur::secs(1));
+        assert_eq!(sched.next_at(), Some(Time::ZERO + Dur::millis(10)));
+        assert!(sched.pop_due(Time::ZERO + Dur::millis(5)).is_none());
+        let (at, action) = sched.pop_due(Time::ZERO + Dur::millis(25)).expect("due");
+        assert_eq!(action, FaultAction::Crash(n(2)));
+        sched.record(at, action);
+        sched.mark_crashed(n(2));
+        let (at, action) = sched.pop_due(Time::ZERO + Dur::millis(25)).expect("due");
+        assert_eq!(action, FaultAction::Restart(n(2)));
+        sched.record(at, action);
+        assert!(sched.pop_due(Time::ZERO + Dur::millis(25)).is_none());
+        assert!(!sched.finished());
+        assert_eq!(sched.applied().len(), 2);
+        assert_eq!(
+            sched.ever_crashed().iter().copied().collect::<Vec<_>>(),
+            [n(2)]
+        );
+        let _ = sched.pop_due(Time::ZERO + Dur::secs(1)).expect("heal due");
+        assert!(sched.finished());
     }
 
     #[test]

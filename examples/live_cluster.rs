@@ -14,12 +14,12 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use canopus::{CanopusConfig, CanopusMsg, CanopusNode, EmulationTable, LotShape};
+use canopus::{CanopusMsg, CanopusNode, EmulationTable, LotShape};
+use canopus_harness::live_canopus_config;
 use canopus_kv::{ClientRequest, Op, OpResult};
 use canopus_net::tcp::{read_frame, run_node, write_frame, PeerMap};
 use canopus_net::wire::Wire;
-use canopus_raft::RaftConfig;
-use canopus_sim::{Dur, NodeId};
+use canopus_sim::NodeId;
 
 const NODES: u32 = 6;
 const CLIENT_ID: NodeId = NodeId(6);
@@ -35,17 +35,9 @@ fn main() {
     // The simulator-tuned defaults (25 ms failure timeout, 10–20 ms Raft
     // elections) assume a deterministic scheduler; on a real OS a loaded
     // box can deschedule a node thread longer than that and trigger false
-    // failovers. Relax the real-time-sensitive timeouts for live sockets.
-    let cfg = CanopusConfig {
-        record_log: false,
-        failure_timeout: Dur::secs(2),
-        raft: RaftConfig {
-            heartbeat_interval: Dur::millis(50),
-            election_timeout_min: Dur::millis(300),
-            election_timeout_max: Dur::millis(600),
-        },
-        ..CanopusConfig::default()
-    };
+    // failovers. All real-time-sensitive timeouts derive from one place:
+    // `canopus_harness::live::LIVE_TIME_UNIT`.
+    let cfg = live_canopus_config();
 
     // Bind every listener up front so the peer map is complete, including
     // the client's own inbound socket (node 6 in the message namespace).

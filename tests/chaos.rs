@@ -15,38 +15,61 @@
 //! Seed count: 20 by default (the acceptance sweep), `CHAOS_SEEDS=ci` for
 //! a quick fixed set in CI, `CHAOS_SEEDS=extended` for a deep local sweep.
 
-use std::collections::BTreeSet;
-
+use canopus_harness::scenarios::{
+    asymmetric_loss as asymmetric_loss_in, crash_restart_churn as crash_restart_churn_in,
+    leader_crash_mid_round as leader_crash_mid_round_in, link_flapping as link_flapping_in,
+    majority_minority_split as majority_minority_split_in, node_isolated as node_isolated_in,
+    superleaf_partition as superleaf_partition_in,
+};
 use canopus_harness::{
     chaos_canopus, chaos_epaxos, chaos_raftkv, chaos_verdict, chaos_zab, ChaosProtocol,
-    ChaosReport, Cluster, DeploymentSpec, HistoryConfig,
+    ChaosReport, ChaosScenario, ChaosTimeline, ChaosTopology, Cluster, DeploymentSpec,
+    HistoryConfig,
 };
-use canopus_sim::fault::{FaultEvent, FaultPlan};
-use canopus_sim::{Dur, NodeId, Time};
 
 // ---------------------------------------------------------------------
 // Deployment and timeline
 // ---------------------------------------------------------------------
 
 /// 3 super-leaves (racks) × 3 nodes — the smallest deployment where every
-/// protocol tolerates the faults below (Canopus leaf majority, Raft/Zab
+/// protocol tolerates the catalog faults (Canopus leaf majority, Raft/Zab
 /// quorum, EPaxos fast quorum).
 fn spec() -> DeploymentSpec {
     DeploymentSpec::paper_single_dc(3)
 }
 
-fn leaf(g: u32) -> Vec<NodeId> {
-    (0..3).map(|i| NodeId(g * 3 + i)).collect()
+/// The scenario catalog lives in `canopus_harness::scenarios` (shared
+/// with the live-TCP suite); these wrappers pin the simulator topology
+/// and PR 2's virtual-time schedule.
+fn topo() -> ChaosTopology {
+    ChaosTopology::sim_default()
 }
 
-fn leaves(gs: &[u32]) -> Vec<NodeId> {
-    gs.iter().flat_map(|&g| leaf(g)).collect()
+fn timeline() -> ChaosTimeline {
+    ChaosTimeline::sim_default()
 }
 
-const FAULT_AT: Dur = Dur::millis(200);
-const HEAL_AT: Dur = Dur::millis(900);
-const PROBE_AT: Dur = Dur::millis(1100);
-const RUN_FOR: Dur = Dur::millis(2100);
+fn superleaf_partition() -> ChaosScenario {
+    superleaf_partition_in(&topo(), &timeline())
+}
+fn majority_minority_split() -> ChaosScenario {
+    majority_minority_split_in(&topo(), &timeline())
+}
+fn leader_crash_mid_round() -> ChaosScenario {
+    leader_crash_mid_round_in(&topo(), &timeline())
+}
+fn crash_restart_churn() -> ChaosScenario {
+    crash_restart_churn_in(&topo(), &timeline())
+}
+fn asymmetric_loss() -> ChaosScenario {
+    asymmetric_loss_in(&topo(), &timeline())
+}
+fn link_flapping() -> ChaosScenario {
+    link_flapping_in(&topo(), &timeline())
+}
+fn node_isolated() -> ChaosScenario {
+    node_isolated_in(&topo(), &timeline())
+}
 
 fn seeds() -> Vec<u64> {
     let n = match std::env::var("CHAOS_SEEDS").as_deref() {
@@ -62,173 +85,33 @@ fn seeds() -> Vec<u64> {
 }
 
 // ---------------------------------------------------------------------
-// Scenarios
-// ---------------------------------------------------------------------
-
-struct Scenario {
-    name: &'static str,
-    plan: FaultPlan,
-    /// Trusted nodes whose clients are excused from the convergence check
-    /// for `protocol` (safety is still enforced for them).
-    exempt: fn(protocol: &str) -> BTreeSet<NodeId>,
-}
-
-fn no_exemptions(_: &str) -> BTreeSet<NodeId> {
-    BTreeSet::new()
-}
-
-/// One whole super-leaf cut off from the other two, then healed.
-fn superleaf_partition() -> Scenario {
-    Scenario {
-        name: "superleaf_partition",
-        plan: FaultPlan::new()
-            .at(
-                FAULT_AT,
-                FaultEvent::CutGroups {
-                    a: leaf(0),
-                    b: leaves(&[1, 2]),
-                },
-            )
-            .at(HEAL_AT, FaultEvent::HealAll),
-        exempt: no_exemptions,
-    }
-}
-
-/// A 6-node majority split from a 3-node minority along super-leaf
-/// boundaries.
-fn majority_minority_split() -> Scenario {
-    Scenario {
-        name: "majority_minority_split",
-        plan: FaultPlan::new()
-            .at(
-                FAULT_AT,
-                FaultEvent::CutGroups {
-                    a: leaves(&[0, 1]),
-                    b: leaf(2),
-                },
-            )
-            .at(HEAL_AT, FaultEvent::HealAll),
-        exempt: no_exemptions,
-    }
-}
-
-/// The bootstrap leader (node 0: Raft/Zab leader, a Canopus super-leaf
-/// member, an EPaxos command leader) crashes mid-round under load and
-/// restarts later.
-fn leader_crash_mid_round() -> Scenario {
-    Scenario {
-        name: "leader_crash_mid_round",
-        plan: FaultPlan::new()
-            .at(Dur::millis(250), FaultEvent::Crash(NodeId(0)))
-            .at(Dur::millis(800), FaultEvent::Restart(NodeId(0)))
-            .at(HEAL_AT, FaultEvent::HealAll),
-        exempt: no_exemptions,
-    }
-}
-
-/// One node crash-restarts three times in quick succession.
-fn crash_restart_churn() -> Scenario {
-    Scenario {
-        name: "crash_restart_churn",
-        plan: FaultPlan::new()
-            .at(FAULT_AT, FaultEvent::Crash(NodeId(1)))
-            .then(Dur::millis(200), FaultEvent::Restart(NodeId(1)))
-            .repeat(2, Dur::millis(300))
-            .at(Dur::millis(1050), FaultEvent::HealAll),
-        exempt: no_exemptions,
-    }
-}
-
-/// Global background loss plus a heavily impaired sender (asymmetric:
-/// only node 4's outbound traffic is extra-lossy), then healed.
-fn asymmetric_loss() -> Scenario {
-    Scenario {
-        name: "asymmetric_loss",
-        plan: FaultPlan::new()
-            .at(FAULT_AT, FaultEvent::SetLoss(0.12))
-            .at(
-                FAULT_AT,
-                FaultEvent::SetNodeOutLoss {
-                    node: NodeId(4),
-                    loss: 0.35,
-                },
-            )
-            .at(HEAL_AT, FaultEvent::HealAll),
-        exempt: |protocol| {
-            // Canopus may tombstone the impaired node if every heartbeat in
-            // a detection window drops; tombstoned nodes stay excluded
-            // until a rejoin path exists (ROADMAP), so its client is
-            // excused from convergence.
-            if protocol == "canopus" {
-                BTreeSet::from([NodeId(4)])
-            } else {
-                BTreeSet::new()
-            }
-        },
-    }
-}
-
-/// The leaf-0 ↔ leaf-1 links flap every 60 ms until the final heal.
-fn link_flapping() -> Scenario {
-    Scenario {
-        name: "link_flapping",
-        plan: FaultPlan::new()
-            .at(
-                FAULT_AT,
-                FaultEvent::FlapLink {
-                    a: leaf(0),
-                    b: leaf(1),
-                    period: Dur::millis(60),
-                },
-            )
-            .at(HEAL_AT, FaultEvent::HealAll),
-        exempt: no_exemptions,
-    }
-}
-
-/// One node is cut off from everyone (its clients included), then healed.
-fn node_isolated() -> Scenario {
-    Scenario {
-        name: "node_isolated",
-        plan: FaultPlan::new()
-            .at(FAULT_AT, FaultEvent::IsolateNode(NodeId(2)))
-            .at(HEAL_AT, FaultEvent::HealAll),
-        exempt: |protocol| {
-            // An isolated Canopus node is tombstoned by its super-leaf
-            // peers and stays excluded (no rejoin path yet).
-            if protocol == "canopus" {
-                BTreeSet::from([NodeId(2)])
-            } else {
-                BTreeSet::new()
-            }
-        },
-    }
-}
-
-// ---------------------------------------------------------------------
 // Runner
 // ---------------------------------------------------------------------
 
 fn history_config() -> HistoryConfig {
     HistoryConfig {
-        probe_at: Time::ZERO + PROBE_AT,
+        probe_at: timeline().converge_after(),
         ..HistoryConfig::default()
     }
 }
 
 fn run_one<M: ChaosProtocol>(
     build: fn(&DeploymentSpec, &HistoryConfig, u64) -> Cluster<M>,
-    scenario: &Scenario,
+    scenario: &ChaosScenario,
     seed: u64,
 ) -> ChaosReport {
     let mut cluster = build(&spec(), &history_config(), seed);
-    cluster.apply_plan(&scenario.plan, RUN_FOR);
-    chaos_verdict(&cluster, Time::ZERO + PROBE_AT, &(scenario.exempt)(M::NAME))
+    cluster.apply_plan(&scenario.plan, timeline().run_for);
+    chaos_verdict(
+        &cluster,
+        timeline().converge_after(),
+        &(scenario.exempt)(M::NAME),
+    )
 }
 
 fn sweep<M: ChaosProtocol>(
     build: fn(&DeploymentSpec, &HistoryConfig, u64) -> Cluster<M>,
-    scenario: Scenario,
+    scenario: ChaosScenario,
 ) {
     for seed in seeds() {
         let report = run_one(build, &scenario, seed);
@@ -315,7 +198,7 @@ fn determinism_same_plan_same_seed_identical_traces() {
         let scenario = superleaf_partition();
         let mut cluster = chaos_canopus(&spec(), &history_config(), seed);
         cluster.sim.enable_trace_hash();
-        let applied = cluster.apply_plan(&scenario.plan, RUN_FOR);
+        let applied = cluster.apply_plan(&scenario.plan, timeline().run_for);
         let histories: Vec<Vec<String>> = cluster
             .clients
             .iter()
@@ -357,7 +240,7 @@ fn determinism_crash_restart_raftkv() {
         let scenario = crash_restart_churn();
         let mut cluster = chaos_raftkv(&spec(), &history_config(), 11);
         cluster.sim.enable_trace_hash();
-        cluster.apply_plan(&scenario.plan, RUN_FOR);
+        cluster.apply_plan(&scenario.plan, timeline().run_for);
         (
             cluster.sim.trace_hash().expect("enabled"),
             cluster.sim.events_processed(),

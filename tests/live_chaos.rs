@@ -1,0 +1,119 @@
+//! Live chaos suite: the same fault scenarios the simulator sweep runs,
+//! executed over **real loopback TCP sockets**.
+//!
+//! Each run spawns a 2-super-leaf × 3-node deployment plus one
+//! closed-loop [`canopus_harness::HistoryClient`] per node on the
+//! thread-based TCP transport, replays a `FaultPlan` on the wall clock
+//! through the shared `FaultRules` table (crashes stop and respawn real
+//! node loops), and then runs the shared chaos verdict over the recovered
+//! states: agreement (global + per-key), client FIFO, read validity, and
+//! post-heal convergence. Linearizability timing is not checked live —
+//! nodes have no common clock base (see `chaos_verdict_parts`).
+//!
+//! The verdict is deterministic (it must pass for every seed), the
+//! byte-level trace is not — this is a real scheduler and a real network
+//! stack.
+//!
+//! Seed count: 3 in release (the acceptance sweep, ~1 min wall clock for
+//! the whole suite), 1 in debug spot checks, `LIVE_CHAOS_SEEDS=ci` for
+//! the fixed CI set, `LIVE_CHAOS_SEEDS=N` for deeper local sweeps.
+//!
+//! Canopus crash/restart scenarios are exercised by the simulator suite
+//! only: live restarts would race the deliberately slow live failure
+//! detector (see `canopus_harness::live`), so here Canopus runs the
+//! partition and loss scenarios while ZAB and Raft KV cover
+//! crash/restart.
+
+use canopus::CanopusMsg;
+use canopus_harness::scenarios::{
+    asymmetric_loss, leader_crash_mid_round, superleaf_partition, ChaosScenario,
+};
+use canopus_harness::{
+    live_chaos_canopus, live_chaos_raftkv, live_chaos_zab, live_history_config, live_timeline,
+    live_topology, ChaosProtocol, ChaosTimeline, ChaosTopology, HistoryConfig, LiveCluster,
+    RaftKvMsg,
+};
+use canopus_net::Wire;
+use canopus_zab::ZabMsg;
+
+fn seeds() -> Vec<u64> {
+    let n = match std::env::var("LIVE_CHAOS_SEEDS").as_deref() {
+        Ok("ci") => 3,
+        Ok(other) => other.parse().unwrap_or(3),
+        // Debug builds (plain `cargo test --workspace`) spot-check one
+        // seed; the acceptance sweep is `cargo test --release --test
+        // live_chaos`.
+        _ if cfg!(debug_assertions) => 1,
+        _ => 3,
+    };
+    (1..=n).map(|i| 0x11FE + i).collect()
+}
+
+fn sweep<M: ChaosProtocol + Wire + Send>(
+    build: fn(&ChaosTopology, &HistoryConfig, u64) -> LiveCluster<M>,
+    scenario_fn: fn(&ChaosTopology, &ChaosTimeline) -> ChaosScenario,
+) {
+    let topo = live_topology();
+    let t = live_timeline();
+    for seed in seeds() {
+        let scenario = scenario_fn(&topo, &t);
+        let mut cluster = build(&topo, &live_history_config(), seed);
+        let applied = cluster.run_plan(&scenario.plan, t.run_for);
+        assert!(
+            !applied.is_empty(),
+            "{} / {}: no fault was applied",
+            M::NAME,
+            scenario.name
+        );
+        let outcome = cluster.shutdown();
+        let report = outcome.verdict(t.converge_after(), &(scenario.exempt)(M::NAME));
+        assert!(
+            report.ok(),
+            "{} / {} / seed {:#x}: {} ok, {} timed out, violations: {:#?}",
+            M::NAME,
+            scenario.name,
+            seed,
+            report.ops_ok,
+            report.ops_timed_out,
+            report.violations
+        );
+        assert!(
+            report.ops_ok > 20,
+            "{} / {} / seed {:#x}: suspiciously little progress ({} ops)",
+            M::NAME,
+            scenario.name,
+            seed,
+            report.ops_ok
+        );
+    }
+}
+
+#[test]
+fn live_canopus_superleaf_partition() {
+    sweep::<CanopusMsg>(live_chaos_canopus, superleaf_partition);
+}
+
+#[test]
+fn live_canopus_asymmetric_loss() {
+    sweep::<CanopusMsg>(live_chaos_canopus, asymmetric_loss);
+}
+
+#[test]
+fn live_zab_superleaf_partition() {
+    sweep::<ZabMsg>(live_chaos_zab, superleaf_partition);
+}
+
+#[test]
+fn live_zab_leader_crash_restart() {
+    sweep::<ZabMsg>(live_chaos_zab, leader_crash_mid_round);
+}
+
+#[test]
+fn live_zab_asymmetric_loss() {
+    sweep::<ZabMsg>(live_chaos_zab, asymmetric_loss);
+}
+
+#[test]
+fn live_raftkv_leader_crash_restart() {
+    sweep::<RaftKvMsg>(live_chaos_raftkv, leader_crash_mid_round);
+}
