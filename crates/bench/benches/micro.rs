@@ -66,6 +66,47 @@ fn bench_wire(c: &mut Criterion) {
     });
 }
 
+/// The zero-copy decode path against a local replica of the pre-refactor
+/// copying path (length-prefixed payloads were `to_vec()`ed out of the
+/// receive buffer before use; strings additionally validated the copy).
+fn bench_zero_copy_decode(c: &mut Criterion) {
+    use canopus_net::wire::{WireError, WireRead};
+
+    fn copying_bytes(buf: &mut Bytes) -> Result<Vec<u8>, WireError> {
+        let n = buf.read_u32()? as usize;
+        Ok(buf.read_bytes(n)?.to_vec())
+    }
+    fn copying_string(buf: &mut Bytes) -> Result<String, WireError> {
+        let n = buf.read_u32()? as usize;
+        let raw = buf.read_bytes(n)?.to_vec();
+        String::from_utf8(raw).map_err(|_| WireError::Invalid("utf8"))
+    }
+
+    let blob = {
+        let mut buf = bytes::BytesMut::new();
+        Bytes::from(vec![0x5Au8; 4096]).encode(&mut buf);
+        buf.freeze()
+    };
+    c.bench_function("decode_bytes_4k_zero_copy", |b| {
+        b.iter(|| black_box(Bytes::decode(&mut blob.clone()).unwrap()));
+    });
+    c.bench_function("decode_bytes_4k_copying", |b| {
+        b.iter(|| black_box(copying_bytes(&mut blob.clone()).unwrap()));
+    });
+
+    let text = {
+        let mut buf = bytes::BytesMut::new();
+        "x".repeat(4096).encode(&mut buf);
+        buf.freeze()
+    };
+    c.bench_function("decode_string_4k_validate_in_place", |b| {
+        b.iter(|| black_box(String::decode(&mut text.clone()).unwrap()));
+    });
+    c.bench_function("decode_string_4k_copy_then_validate", |b| {
+        b.iter(|| black_box(copying_string(&mut text.clone()).unwrap()));
+    });
+}
+
 fn bench_lot_math(c: &mut Criterion) {
     let shape = LotShape::new(vec![4, 4, 4]);
     c.bench_function("lot_ancestor_and_emulators", |b| {
@@ -131,6 +172,7 @@ criterion_group!(
     benches,
     bench_merge,
     bench_wire,
+    bench_zero_copy_decode,
     bench_lot_math,
     bench_consensus_cycle
 );

@@ -10,10 +10,14 @@
 //! | `fig6_multi_dc`    | Figure 6: multi-DC scaling |
 //! | `fig7_write_ratio` | Figure 7: write-ratio sweep |
 //! | `ssd_persistence`  | §8.1 SSD-vs-memory logging check |
+//! | `throughput_knee`  | batching/pipelining knee sweep → `BENCH_canopus.json` |
 //!
 //! The figure sweeps accept `--quick` for a reduced ladder (the Table 1
-//! and SSD checks are already fast). `cargo bench` additionally
-//! runs criterion micro-benchmarks of the protocol hot paths
-//! (`benches/micro.rs`).
+//! and SSD checks are already fast); `throughput_knee` reads
+//! `BENCH_SWEEP=smoke|full` instead and can regression-check a committed
+//! baseline with `--check`. `cargo bench` additionally runs criterion
+//! micro-benchmarks of the protocol hot paths (`benches/micro.rs`).
 
 #![warn(missing_docs)]
+
+pub mod json;

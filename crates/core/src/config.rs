@@ -44,7 +44,20 @@ pub struct CanopusConfig {
     /// Start a new cycle early once this many client requests are pending
     /// (the paper uses 1000).
     pub max_batch: usize,
-    /// Cap on cycles in flight in pipelined mode.
+    /// Self-clocked batching window: after the first request of a batch
+    /// arrives, hold the cycle open this long so later arrivals aggregate
+    /// into the same proposal. Zero starts a cycle the moment work exists
+    /// (the seed behavior). Overflow ([`CanopusConfig::max_batch`]) and
+    /// outside prompting (§4.4) still start a cycle immediately — lingering
+    /// never delays joining a cycle the rest of the tree already started.
+    /// Ignored in [`CycleTrigger::Pipelined`] mode, where `cycle_interval`
+    /// plays this role.
+    pub max_linger: Dur,
+    /// Cap on consensus cycles in flight at once, in either trigger mode.
+    /// At 1, cycle N+1 starts only after cycle N commits (the self-clocked
+    /// single-DC behavior). Above 1, cycle N+1's LOT exchange overlaps
+    /// cycle N's result drain (§7.1 pipelining) — the cycle rate is then
+    /// bounded by the slowest round, not the full commit latency.
     pub max_pipeline_depth: u64,
     /// Number of super-leaf representatives fetching remote vnode states.
     pub representatives: usize,
@@ -82,7 +95,8 @@ impl Default for CanopusConfig {
             trigger: CycleTrigger::OnCommit,
             cycle_interval: Dur::millis(5),
             max_batch: 1000,
-            max_pipeline_depth: 64,
+            max_linger: Dur::ZERO,
+            max_pipeline_depth: 1,
             representatives: 2,
             fetch_redundancy: 1,
             fetch_timeout: Dur::millis(700),
@@ -108,6 +122,7 @@ impl CanopusConfig {
             trigger: CycleTrigger::Pipelined,
             cycle_interval: Dur::millis(5),
             max_batch: 1000,
+            max_pipeline_depth: 64,
             fetch_timeout: Dur::millis(900),
             failure_timeout: Dur::millis(150),
             raft: RaftConfig {
@@ -115,6 +130,19 @@ impl CanopusConfig {
                 election_timeout_min: Dur::millis(50),
                 election_timeout_max: Dur::millis(100),
             },
+            ..Self::default()
+        }
+    }
+
+    /// Throughput-tuned self-clocked configuration: super-leaf batching
+    /// (1 ms linger, 1000-request overflow) plus cross-round pipelining
+    /// (`depth` cycles in flight). `depth` must be ≥ 1. This is the
+    /// configuration the `throughput_knee` bench and the batched chaos
+    /// scenarios exercise; every other knob keeps its default.
+    pub fn batched_pipelined(depth: u64) -> Self {
+        CanopusConfig {
+            max_linger: Dur::millis(1),
+            max_pipeline_depth: depth.max(1),
             ..Self::default()
         }
     }

@@ -36,6 +36,7 @@ use crate::types::{CycleId, VnodeId};
 /// Timer tokens.
 const TICK: u64 = 1;
 const CYCLE: u64 = 2;
+const LINGER: u64 = 3;
 
 /// One committed operation, as recorded in the commit log.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -171,6 +172,10 @@ pub struct CanopusNode {
 
     // Cycle machinery.
     cycles: BTreeMap<CycleId, CycleState>,
+    /// Batching window deadline (§ batching): set when the first request
+    /// of a batch arrives under a nonzero `max_linger`, cleared when the
+    /// cycle carrying the batch starts.
+    linger_until: Option<Time>,
     last_started: CycleId,
     last_committed: CycleId,
     max_seen_cycle: CycleId,
@@ -240,6 +245,7 @@ impl CanopusNode {
             requested_leases: BTreeSet::new(),
             lease_until: BTreeMap::new(),
             cycles: BTreeMap::new(),
+            linger_until: None,
             last_started: CycleId(0),
             last_committed: CycleId(0),
             max_seen_cycle: CycleId(0),
@@ -446,18 +452,34 @@ impl CanopusNode {
             || !self.requested_leases.is_empty()
     }
 
+    /// Whether the batching window for the next self-clocked cycle has
+    /// closed. Opens the window (and arms its timer) on the first call
+    /// with pending work, so a request never waits longer than
+    /// `max_linger` before its cycle starts.
+    fn linger_elapsed(&mut self, ctx: &mut Context<'_, CanopusMsg>) -> bool {
+        if self.cfg.max_linger.is_zero() {
+            return true;
+        }
+        match self.linger_until {
+            Some(deadline) => ctx.now() >= deadline,
+            None => {
+                self.linger_until = Some(ctx.now() + self.cfg.max_linger);
+                ctx.set_timer(self.cfg.max_linger, LINGER);
+                false
+            }
+        }
+    }
+
     /// Starts as many cycles as policy allows (§4.4 prompting, §7.1
-    /// pipelining).
+    /// pipelining, super-leaf batching via `max_linger`).
     fn maybe_start_cycles(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
         if self.bcast.is_none() {
             return;
         }
         loop {
-            let can_start = match self.cfg.trigger {
-                CycleTrigger::OnCommit => self.in_flight() == 0,
-                CycleTrigger::Pipelined => self.in_flight() < self.cfg.max_pipeline_depth,
-            };
-            if !can_start {
+            // Both trigger modes bound cycles in flight by the same knob;
+            // depth 1 reproduces the strict start-on-commit behavior.
+            if self.in_flight() >= self.cfg.max_pipeline_depth.max(1) {
                 return;
             }
             let prompted = self.max_seen_cycle > self.last_started;
@@ -466,7 +488,9 @@ impl CanopusNode {
                 || overflow
                 || (self.has_local_work()
                     && match self.cfg.trigger {
-                        CycleTrigger::OnCommit => true,
+                        // Self-clocked: start once the batching window
+                        // closes (immediately when `max_linger` is zero).
+                        CycleTrigger::OnCommit => self.linger_elapsed(ctx),
                         // Pipelined starts on timer/prompt/overflow only,
                         // except for the very first cycle.
                         CycleTrigger::Pipelined => self.last_started == CycleId(0),
@@ -481,6 +505,7 @@ impl CanopusNode {
     fn start_cycle(&mut self, ctx: &mut Context<'_, CanopusMsg>) {
         let c = self.last_started.next();
         self.last_started = c;
+        self.linger_until = None;
 
         // Batch everything pending: writes, lease requests, membership
         // updates. Reads buffered during the previous window are ordered by
@@ -1320,6 +1345,10 @@ impl Process<CanopusMsg> for CanopusNode {
         match timer.token {
             TICK => self.on_tick(ctx),
             CYCLE => self.on_cycle_timer(ctx),
+            // The batching window closed; the deadline check inside
+            // `linger_elapsed` ignores stale timers from already-started
+            // cycles (their `linger_until` was cleared).
+            LINGER => self.maybe_start_cycles(ctx),
             _ => {}
         }
     }

@@ -367,6 +367,7 @@ fn pipelined_mode_commits_under_load() {
     let cfg = CanopusConfig {
         trigger: CycleTrigger::Pipelined,
         cycle_interval: Dur::millis(2),
+        max_pipeline_depth: 64,
         ..CanopusConfig::default()
     };
     let mut cluster = build_cluster(LotShape::flat(3), 3, &cfg, 6);
@@ -393,6 +394,71 @@ fn pipelined_mode_commits_under_load() {
     assert!(
         s.committed_cycles >= 3,
         "pipelined mode ran multiple cycles: {}",
+        s.committed_cycles
+    );
+}
+
+#[test]
+fn linger_window_batches_writes_into_fewer_cycles() {
+    // Same 40-write workload, with and without a batching window. Both must
+    // commit everything and agree; the lingering run must need fewer cycles
+    // because arrivals inside each 1 ms window share a proposal.
+    let run = |linger: Dur| {
+        let cfg = CanopusConfig {
+            max_linger: linger,
+            ..CanopusConfig::default()
+        };
+        let mut cluster = build_cluster(LotShape::flat(2), 3, &cfg, 11);
+        let script: Vec<(Dur, Op)> = (0..40)
+            .map(|k| (Dur::micros(150 * k + 97), put(k, 1)))
+            .collect();
+        add_client(&mut cluster, NodeId(1), script);
+        cluster.sim.run_for(Dur::millis(400));
+        let histories = commit_histories(&cluster);
+        assert!(check_agreement(&histories).is_ok());
+        assert_eq!(histories[0].len(), 40, "all writes committed");
+        stats_of(&cluster, NodeId(0)).committed_cycles
+    };
+    let unbatched = run(Dur::ZERO);
+    let batched = run(Dur::millis(1));
+    assert!(
+        batched < unbatched,
+        "lingering must coalesce cycles: {batched} (1 ms window) vs {unbatched} (none)"
+    );
+}
+
+#[test]
+fn on_commit_pipelining_overlaps_cycles() {
+    // Self-clocked mode with depth > 1: cycle N+1's exchange may begin
+    // while cycle N drains. Correctness (agreement, no loss, FIFO of the
+    // commit order) must be unaffected.
+    let cfg = CanopusConfig {
+        max_pipeline_depth: 4,
+        ..CanopusConfig::default()
+    };
+    let mut cluster = build_cluster(LotShape::flat(3), 3, &cfg, 12);
+    for leaf in 0..3u32 {
+        let target = NodeId(leaf * 3);
+        let script: Vec<(Dur, Op)> = (0..30)
+            .map(|k| {
+                (
+                    Dur::micros(120 * k + 53),
+                    put(leaf as u64 * 100 + k, leaf as u8),
+                )
+            })
+            .collect();
+        add_client(&mut cluster, target, script);
+    }
+    cluster.sim.run_for(Dur::millis(500));
+    let histories = commit_histories(&cluster);
+    assert!(check_agreement(&histories).is_ok());
+    for h in &histories {
+        assert_eq!(h.len(), 90, "all writes committed under pipelining");
+    }
+    let s = stats_of(&cluster, NodeId(0));
+    assert!(
+        s.committed_cycles >= 3,
+        "pipelined self-clocked mode ran multiple cycles: {}",
         s.committed_cycles
     );
 }

@@ -189,6 +189,7 @@ where
             tick: Dur::millis(1),
             op_bytes: 16,
             warmup: load.warmup,
+            max_batch: load.client_max_batch,
         };
         Box::new(OpenLoopClient::<M>::new(
             target,

@@ -711,6 +711,28 @@ pub fn chaos_canopus(
     )
 }
 
+/// [`chaos_canopus`] with the throughput knobs engaged: a 1 ms batching
+/// window and `depth` consensus cycles in flight. The chaos suites run
+/// the same scenarios against this builder to show the knobs change
+/// performance, not the verdict.
+pub fn chaos_canopus_batched(
+    spec: &crate::spec::DeploymentSpec,
+    hcfg: &HistoryConfig,
+    seed: u64,
+    depth: u64,
+) -> Cluster<CanopusMsg> {
+    let mut cfg = crate::cluster::canopus_config_for(spec);
+    cfg.record_log = true;
+    cfg.max_linger = Dur::millis(1);
+    cfg.max_pipeline_depth = depth.max(1);
+    crate::cluster::build_canopus_with(
+        spec,
+        cfg,
+        seed,
+        history_clients(spec.node_count(), hcfg.clone()),
+    )
+}
+
 /// An EPaxos cluster driven by history clients (2 ms batches, log on).
 pub fn chaos_epaxos(
     spec: &crate::spec::DeploymentSpec,

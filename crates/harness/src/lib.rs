@@ -24,20 +24,22 @@ pub use cluster::{
     ChaosFabric, Cluster, RestartFactory, SilentNode,
 };
 pub use history::{
-    chaos_canopus, chaos_epaxos, chaos_raftkv, chaos_verdict, chaos_verdict_parts, chaos_zab,
-    decode_tag, encode_tag, ChaosProtocol, ChaosReport, ClientHistory, HistoryClient,
-    HistoryConfig, HistoryOp,
+    chaos_canopus, chaos_canopus_batched, chaos_epaxos, chaos_raftkv, chaos_verdict,
+    chaos_verdict_parts, chaos_zab, decode_tag, encode_tag, ChaosProtocol, ChaosReport,
+    ClientHistory, HistoryClient, HistoryConfig, HistoryOp,
 };
 pub use live::{
-    live_canopus_config, live_chaos_canopus, live_chaos_raftkv, live_chaos_zab,
-    live_history_config, live_raft_config, live_raftkv_config, live_timeline, live_topology,
-    live_zab_config, LiveCluster, LiveOutcome, LIVE_TIME_UNIT,
+    live_canopus_config, live_chaos_canopus, live_chaos_canopus_batched, live_chaos_raftkv,
+    live_chaos_zab, live_history_config, live_raft_config, live_raftkv_config, live_timeline,
+    live_topology, live_zab_config, LiveCluster, LiveOutcome, LIVE_TIME_UNIT,
 };
 pub use raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode, RaftKvStats};
 pub use run::{
     deterministic_check, find_max_throughput, latency_at_70pct, run_canopus, run_epaxos, run_zab,
     RunResult, SearchResult, SearchSpec,
 };
-pub use scenarios::{all_scenarios, ChaosScenario, ChaosTimeline, ChaosTopology};
+pub use scenarios::{
+    all_scenarios, partition_then_crash_restart, ChaosScenario, ChaosTimeline, ChaosTopology,
+};
 pub use spec::{DeploymentSpec, LoadSpec, TopoSpec};
 pub use table::{fmt_dur, fmt_rate, render_table};

@@ -494,13 +494,43 @@ pub fn live_chaos_canopus(
     hcfg: &HistoryConfig,
     seed: u64,
 ) -> LiveCluster<CanopusMsg> {
-    let shape = LotShape::flat(topo.groups as u16);
-    let membership: Vec<Vec<NodeId>> = (0..topo.groups).map(|g| topo.leaf(g)).collect();
-    let table = EmulationTable::new(shape, membership);
     let cfg = CanopusConfig {
         record_log: true,
         ..live_canopus_config()
     };
+    live_chaos_canopus_with(topo, hcfg, seed, cfg)
+}
+
+/// [`live_chaos_canopus`] with the throughput knobs engaged: an
+/// eighth-unit batching window (the same scale as the clients' issue gap,
+/// so windows really do aggregate concurrent clients) and `depth` cycles
+/// in flight, over real sockets. The live chaos suite runs partition
+/// scenarios against this builder to show batching and pipelining leave
+/// the verdict unchanged outside the simulator too.
+pub fn live_chaos_canopus_batched(
+    topo: &ChaosTopology,
+    hcfg: &HistoryConfig,
+    seed: u64,
+    depth: u64,
+) -> LiveCluster<CanopusMsg> {
+    let cfg = CanopusConfig {
+        record_log: true,
+        max_linger: LIVE_TIME_UNIT / 8,
+        max_pipeline_depth: depth.max(1),
+        ..live_canopus_config()
+    };
+    live_chaos_canopus_with(topo, hcfg, seed, cfg)
+}
+
+fn live_chaos_canopus_with(
+    topo: &ChaosTopology,
+    hcfg: &HistoryConfig,
+    seed: u64,
+    cfg: CanopusConfig,
+) -> LiveCluster<CanopusMsg> {
+    let shape = LotShape::flat(topo.groups as u16);
+    let membership: Vec<Vec<NodeId>> = (0..topo.groups).map(|g| topo.leaf(g)).collect();
+    let table = EmulationTable::new(shape, membership);
     let restart_table = table.clone();
     let restart_cfg = cfg.clone();
     LiveCluster::spawn(

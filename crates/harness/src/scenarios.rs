@@ -249,6 +249,33 @@ pub fn node_isolated(_topo: &ChaosTopology, t: &ChaosTimeline) -> ChaosScenario 
     }
 }
 
+/// A super-leaf partition followed, after the network heals, by a
+/// crash-restart of the bootstrap node — the two classic timelines
+/// stacked into one run. Built for the batched/pipelined Canopus
+/// configuration, which must survive the back-to-back faults with the
+/// same verdict as the default configuration; it is not part of
+/// [`all_scenarios`] (the per-protocol sweeps keep their original
+/// catalog and trace hashes).
+pub fn partition_then_crash_restart(topo: &ChaosTopology, t: &ChaosTimeline) -> ChaosScenario {
+    let w = t.window();
+    ChaosScenario {
+        name: "partition_then_crash_restart",
+        plan: FaultPlan::new()
+            .at(
+                t.fault_at,
+                FaultEvent::CutGroups {
+                    a: topo.leaf(0),
+                    b: topo.leaves(1..topo.groups),
+                },
+            )
+            .at(t.fault_at + w / 2, FaultEvent::HealAll)
+            .at(t.fault_at + (w * 4) / 7, FaultEvent::Crash(NodeId(0)))
+            .at(t.fault_at + (w * 6) / 7, FaultEvent::Restart(NodeId(0)))
+            .at(t.heal_at, FaultEvent::HealAll),
+        exempt: no_exemptions(),
+    }
+}
+
 /// Every scenario in the catalog.
 pub fn all_scenarios(topo: &ChaosTopology, t: &ChaosTimeline) -> Vec<ChaosScenario> {
     vec![

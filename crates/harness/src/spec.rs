@@ -124,6 +124,10 @@ pub struct LoadSpec {
     pub warmup: Dur,
     /// Measured period after warmup.
     pub duration: Dur,
+    /// Per-request cap for the open-loop clients
+    /// ([`canopus_workload::OpenLoopConfig::max_batch`]): 0 aggregates a
+    /// whole arrival tick per request, 1 models fully unbatched clients.
+    pub client_max_batch: u32,
 }
 
 impl LoadSpec {
@@ -134,12 +138,19 @@ impl LoadSpec {
             write_ratio: 0.2,
             warmup: Dur::millis(300),
             duration: Dur::millis(700),
+            client_max_batch: 0,
         }
     }
 
     /// Same load with a different write ratio.
     pub fn with_writes(mut self, ratio: f64) -> Self {
         self.write_ratio = ratio;
+        self
+    }
+
+    /// Same load with a different client batch cap.
+    pub fn with_client_batch(mut self, max_batch: u32) -> Self {
+        self.client_max_batch = max_batch;
         self
     }
 }

@@ -79,6 +79,17 @@ pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> std::io::Result<
     Ok(())
 }
 
+/// Largest coalesced write the per-peer writer builds before flushing.
+/// Bounds both the batch buffer and the latency a queued frame can accrue
+/// behind earlier ones in the same flush.
+const MAX_COALESCE_BYTES: usize = 1 << 20;
+
+/// Appends one length-prefixed frame to a coalescing buffer.
+fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
 /// Static peer address book for a deployment.
 #[derive(Clone, Debug, Default)]
 pub struct PeerMap {
@@ -333,6 +344,9 @@ fn serve_connection<M>(mut stream: TcpStream, inbox: Sender<(NodeId, M)>) -> std
 where
     M: Wire + Payload + Send,
 {
+    // Buffer reads so a coalesced flush from the peer's writer (many small
+    // frames in one segment) costs one syscall here too, not one per frame.
+    let mut stream = std::io::BufReader::with_capacity(READ_CHUNK, &mut stream);
     let Some(hello) = read_frame(&mut stream)? else {
         return Ok(());
     };
@@ -405,6 +419,7 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
             return;
         };
         let mut backoff = StdDuration::from_millis(10);
+        let mut batch: Vec<u8> = Vec::with_capacity(READ_CHUNK);
         'reconnect: loop {
             let mut stream = loop {
                 match TcpStream::connect(addr) {
@@ -428,12 +443,34 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
             if write_frame(&mut stream, &self_id.to_bytes()).is_err() {
                 continue 'reconnect;
             }
-            while let Ok(frame) = rx.recv() {
-                if write_frame(&mut stream, &frame).is_err() {
+            // Block for the first queued frame, then coalesce everything
+            // already waiting (bounded by MAX_COALESCE_BYTES) into one
+            // write: a burst of small frames costs one syscall, while an
+            // idle link still flushes each frame the moment it arrives.
+            loop {
+                let Ok(first) = rx.recv() else {
+                    return; // channel closed: node shut down
+                };
+                batch.clear();
+                append_frame(&mut batch, &first);
+                let mut closing = false;
+                while batch.len() < MAX_COALESCE_BYTES {
+                    match rx.try_recv() {
+                        Ok(frame) => append_frame(&mut batch, &frame),
+                        Err(mpsc::TryRecvError::Empty) => break,
+                        Err(mpsc::TryRecvError::Disconnected) => {
+                            closing = true;
+                            break;
+                        }
+                    }
+                }
+                if stream.write_all(&batch).is_err() {
                     continue 'reconnect;
                 }
+                if closing {
+                    return; // final flush done; node shut down
+                }
             }
-            return; // channel closed: node shut down
         }
     });
     tx
@@ -572,6 +609,21 @@ mod tests {
         write_frame(&mut client, b"hello").unwrap();
         let got = server.join().unwrap();
         assert_eq!(&got[..], b"hello");
+    }
+
+    #[test]
+    fn coalesced_flush_parses_back_into_individual_frames() {
+        // One buffer holding three frames — exactly what the writer thread
+        // sends in a single write_all — must decode frame by frame.
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"alpha");
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"gamma!");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(&read_frame(&mut cursor).unwrap().unwrap()[..], b"alpha");
+        assert_eq!(&read_frame(&mut cursor).unwrap().unwrap()[..], b"");
+        assert_eq!(&read_frame(&mut cursor).unwrap().unwrap()[..], b"gamma!");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
     }
 
     #[test]

@@ -187,7 +187,12 @@ impl Wire for String {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let n = buf.read_u32()? as usize;
         let raw = buf.read_bytes(n)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Invalid("utf8"))
+        // Validate in place over the sliced frame, then copy exactly once
+        // into the owned String (the old path copied to a Vec first and
+        // validated the copy).
+        std::str::from_utf8(&raw)
+            .map(str::to_owned)
+            .map_err(|_| WireError::Invalid("utf8"))
     }
 }
 

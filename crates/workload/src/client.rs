@@ -83,6 +83,14 @@ pub struct OpenLoopConfig {
     pub op_bytes: u16,
     /// Samples recorded before this time are discarded (warmup).
     pub warmup: Dur,
+    /// Largest number of requests folded into one synthetic op. Zero (the
+    /// default) aggregates a whole tick's arrivals into a single op — the
+    /// seed behavior. A positive value splits each tick's draws into chunks
+    /// of at most this many requests, each tracked (and latency-recorded)
+    /// as its own wire-level request; `1` disables aggregation entirely and
+    /// models one request per client op, the unbatched baseline the
+    /// `throughput_knee` bench measures against.
+    pub max_batch: u32,
 }
 
 impl Default for OpenLoopConfig {
@@ -93,6 +101,7 @@ impl Default for OpenLoopConfig {
             tick: Dur::millis(1),
             op_bytes: 16,
             warmup: Dur::millis(200),
+            max_batch: 0,
         }
     }
 }
@@ -141,6 +150,20 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
         if count == 0 {
             return;
         }
+        if self.cfg.max_batch > 0 {
+            let chunk = u64::from(self.cfg.max_batch);
+            let mut left = count;
+            while left > 0 {
+                let n = left.min(chunk);
+                left -= n;
+                self.send_one(n, is_write, ctx);
+            }
+        } else {
+            self.send_one(count, is_write, ctx);
+        }
+    }
+
+    fn send_one(&mut self, count: u64, is_write: bool, ctx: &mut Context<'_, M>) {
         self.next_op_id += 1;
         let op_id = self.next_op_id;
         let op = if is_write {
@@ -219,6 +242,11 @@ pub struct ClosedLoopConfig {
     pub warmup: Dur,
     /// Stop after this many operations (0 = unbounded).
     pub max_ops: u64,
+    /// Requests kept in flight at once. 1 (the default) is the strict
+    /// blocking client the §7.2 lease optimization assumes; larger values
+    /// model a client that pipelines several independent operations, which
+    /// pairs with the node-side batching knobs to fill larger proposals.
+    pub pipeline: usize,
 }
 
 impl Default for ClosedLoopConfig {
@@ -230,6 +258,7 @@ impl Default for ClosedLoopConfig {
             think_time: Dur::ZERO,
             warmup: Dur::millis(100),
             max_ops: 0,
+            pipeline: 1,
         }
     }
 }
@@ -241,7 +270,7 @@ pub struct ClosedLoopClient<M: ProtocolMsg> {
     target: NodeId,
     rng: SmallRng,
     next_op_id: u64,
-    inflight: Option<(u64, Time, bool)>,
+    inflight: BTreeMap<u64, (Time, bool)>,
     /// Completion stats for writes.
     pub writes: LatencyRecorder,
     /// Completion stats for reads.
@@ -259,7 +288,7 @@ impl<M: ProtocolMsg> ClosedLoopClient<M> {
             target,
             rng: SmallRng::seed_from_u64(seed),
             next_op_id: 0,
-            inflight: None,
+            inflight: BTreeMap::new(),
             writes: LatencyRecorder::default(),
             reads: LatencyRecorder::default(),
             reply_order: Vec::new(),
@@ -272,31 +301,36 @@ impl<M: ProtocolMsg> ClosedLoopClient<M> {
         self.writes.completed() + self.reads.completed()
     }
 
-    fn issue(&mut self, ctx: &mut Context<'_, M>) {
-        if self.cfg.max_ops > 0 && self.next_op_id >= self.cfg.max_ops {
-            return;
-        }
-        self.next_op_id += 1;
-        let op_id = self.next_op_id;
-        let is_write = self.rng.gen::<f64>() < self.cfg.write_ratio;
-        let key = self.cfg.keys.sample(&mut self.rng);
-        let op = if is_write {
-            Op::Put {
-                key,
-                value: Bytes::from(vec![(op_id % 251) as u8; self.cfg.value_bytes]),
+    /// Issues operations until the pipeline window is full (or the op cap
+    /// is reached). With `pipeline == 1` this is the classic blocking
+    /// client: exactly one issue per call.
+    fn fill(&mut self, ctx: &mut Context<'_, M>) {
+        while self.inflight.len() < self.cfg.pipeline.max(1) {
+            if self.cfg.max_ops > 0 && self.next_op_id >= self.cfg.max_ops {
+                return;
             }
-        } else {
-            Op::Get { key }
-        };
-        self.inflight = Some((op_id, ctx.now(), is_write));
-        ctx.send(
-            self.target,
-            M::request(ClientRequest {
-                client: ctx.id(),
-                op_id,
-                op,
-            }),
-        );
+            self.next_op_id += 1;
+            let op_id = self.next_op_id;
+            let is_write = self.rng.gen::<f64>() < self.cfg.write_ratio;
+            let key = self.cfg.keys.sample(&mut self.rng);
+            let op = if is_write {
+                Op::Put {
+                    key,
+                    value: Bytes::from(vec![(op_id % 251) as u8; self.cfg.value_bytes]),
+                }
+            } else {
+                Op::Get { key }
+            };
+            self.inflight.insert(op_id, (ctx.now(), is_write));
+            ctx.send(
+                self.target,
+                M::request(ClientRequest {
+                    client: ctx.id(),
+                    op_id,
+                    op,
+                }),
+            );
+        }
     }
 }
 
@@ -307,21 +341,15 @@ impl<M: ProtocolMsg + 'static> Process<M> for ClosedLoopClient<M> {
     }
 
     fn on_timer(&mut self, _t: Timer, ctx: &mut Context<'_, M>) {
-        if self.inflight.is_none() {
-            self.issue(ctx);
-        }
+        self.fill(ctx);
     }
 
     fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Context<'_, M>) {
         let Some(reply) = msg.reply() else { return };
-        let Some((op_id, sent, is_write)) = self.inflight else {
-            return;
-        };
-        if reply.op_id != op_id {
+        let Some((sent, is_write)) = self.inflight.remove(&reply.op_id) else {
             return; // stale duplicate
-        }
-        self.inflight = None;
-        self.reply_order.push((op_id, ctx.now()));
+        };
+        self.reply_order.push((reply.op_id, ctx.now()));
         if ctx.now() >= Time::ZERO + self.cfg.warmup {
             let lat = ctx.now().saturating_since(sent);
             let recorder = if is_write {
@@ -332,7 +360,7 @@ impl<M: ProtocolMsg + 'static> Process<M> for ClosedLoopClient<M> {
             recorder.record(lat, reply.weight, ctx.now(), &mut self.rng);
         }
         if self.cfg.think_time.is_zero() {
-            self.issue(ctx);
+            self.fill(ctx);
         } else {
             ctx.set_timer(self.cfg.think_time, 0);
         }
@@ -410,6 +438,64 @@ mod tests {
         let client = sim.node::<ClosedLoopClient<CanopusMsg>>(c);
         assert_eq!(client.completed(), 50, "all ops completed");
         // Strictly increasing op ids = FIFO at the client.
+        for pair in client.reply_order.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn open_loop_max_batch_splits_ticks() {
+        let (mut sim, _) = canopus_pair(3);
+        let cfg = OpenLoopConfig {
+            rate_per_sec: 20_000.0,
+            write_ratio: 0.5,
+            warmup: Dur::millis(50),
+            max_batch: 4,
+            ..Default::default()
+        };
+        let c = sim.add_node(Box::new(OpenLoopClient::<CanopusMsg>::new(
+            NodeId(0),
+            cfg,
+            99,
+        )));
+        sim.run_for(Dur::millis(300));
+        let client = sim.node::<OpenLoopClient<CanopusMsg>>(c);
+        // At 20k/s a 1 ms tick draws ~20 arrivals; chunks of ≤4 mean many
+        // more distinct tracked requests than ticks, and none heavier than
+        // the cap.
+        let total = client.total();
+        assert!(total.completed() > 1000, "ops flowed");
+        // Every wire-level request carries at most `max_batch` arrivals, so
+        // the distinct-request count is at least offered/4.
+        assert!(
+            client.next_op_id >= client.offered / 4,
+            "chunking bounded per-request weight: {} ops for {} offered",
+            client.next_op_id,
+            client.offered
+        );
+    }
+
+    #[test]
+    fn closed_loop_pipeline_keeps_window_full() {
+        let (mut sim, _) = canopus_pair(4);
+        let cfg = ClosedLoopConfig {
+            write_ratio: 0.5,
+            keys: KeyDist::uniform(100),
+            warmup: Dur::ZERO,
+            max_ops: 60,
+            pipeline: 4,
+            ..Default::default()
+        };
+        let c = sim.add_node(Box::new(ClosedLoopClient::<CanopusMsg>::new(
+            NodeId(1),
+            cfg,
+            7,
+        )));
+        sim.run_for(Dur::secs(2));
+        let client = sim.node::<ClosedLoopClient<CanopusMsg>>(c);
+        assert_eq!(client.completed(), 60, "all ops completed");
+        // Replies arrive in op order: Canopus preserves per-client FIFO
+        // even with four requests in flight.
         for pair in client.reply_order.windows(2) {
             assert!(pair[0].0 < pair[1].0);
         }

@@ -19,12 +19,13 @@ use canopus_harness::scenarios::{
     asymmetric_loss as asymmetric_loss_in, crash_restart_churn as crash_restart_churn_in,
     leader_crash_mid_round as leader_crash_mid_round_in, link_flapping as link_flapping_in,
     majority_minority_split as majority_minority_split_in, node_isolated as node_isolated_in,
+    partition_then_crash_restart as partition_then_crash_restart_in,
     superleaf_partition as superleaf_partition_in,
 };
 use canopus_harness::{
-    chaos_canopus, chaos_epaxos, chaos_raftkv, chaos_verdict, chaos_zab, ChaosProtocol,
-    ChaosReport, ChaosScenario, ChaosTimeline, ChaosTopology, Cluster, DeploymentSpec,
-    HistoryConfig,
+    chaos_canopus, chaos_canopus_batched, chaos_epaxos, chaos_raftkv, chaos_verdict, chaos_zab,
+    ChaosProtocol, ChaosReport, ChaosScenario, ChaosTimeline, ChaosTopology, Cluster,
+    DeploymentSpec, HistoryConfig,
 };
 
 // ---------------------------------------------------------------------
@@ -69,6 +70,20 @@ fn link_flapping() -> ChaosScenario {
 }
 fn node_isolated() -> ChaosScenario {
     node_isolated_in(&topo(), &timeline())
+}
+fn partition_then_crash_restart() -> ChaosScenario {
+    partition_then_crash_restart_in(&topo(), &timeline())
+}
+
+/// Canopus with the throughput knobs on: 1 ms super-leaf batching windows
+/// and 4 cycles in flight. The batched sweeps assert the same verdict as
+/// the defaults — the knobs must not trade safety for throughput.
+fn chaos_canopus_batched4(
+    spec: &DeploymentSpec,
+    hcfg: &HistoryConfig,
+    seed: u64,
+) -> Cluster<canopus::CanopusMsg> {
+    chaos_canopus_batched(spec, hcfg, seed, 4)
 }
 
 fn seeds() -> Vec<u64> {
@@ -160,6 +175,11 @@ chaos_matrix! {
     canopus_asymmetric_loss:     chaos_canopus / CanopusMsg => asymmetric_loss;
     canopus_link_flapping:       chaos_canopus / CanopusMsg => link_flapping;
     canopus_node_isolated:       chaos_canopus / CanopusMsg => node_isolated;
+    canopus_partition_crash_restart: chaos_canopus / CanopusMsg => partition_then_crash_restart;
+
+    canopus_batched_superleaf_partition:     chaos_canopus_batched4 / CanopusMsg => superleaf_partition;
+    canopus_batched_churn:                   chaos_canopus_batched4 / CanopusMsg => crash_restart_churn;
+    canopus_batched_partition_crash_restart: chaos_canopus_batched4 / CanopusMsg => partition_then_crash_restart;
 
     raftkv_superleaf_partition:  chaos_raftkv / RaftKvMsg => superleaf_partition;
     raftkv_majority_minority:    chaos_raftkv / RaftKvMsg => majority_minority_split;

@@ -29,9 +29,9 @@ use canopus_harness::scenarios::{
     asymmetric_loss, leader_crash_mid_round, superleaf_partition, ChaosScenario,
 };
 use canopus_harness::{
-    live_chaos_canopus, live_chaos_raftkv, live_chaos_zab, live_history_config, live_timeline,
-    live_topology, ChaosProtocol, ChaosTimeline, ChaosTopology, HistoryConfig, LiveCluster,
-    RaftKvMsg,
+    live_chaos_canopus, live_chaos_canopus_batched, live_chaos_raftkv, live_chaos_zab,
+    live_history_config, live_timeline, live_topology, ChaosProtocol, ChaosTimeline, ChaosTopology,
+    HistoryConfig, LiveCluster, RaftKvMsg,
 };
 use canopus_net::Wire;
 use canopus_zab::ZabMsg;
@@ -96,6 +96,17 @@ fn live_canopus_superleaf_partition() {
 #[test]
 fn live_canopus_asymmetric_loss() {
     sweep::<CanopusMsg>(live_chaos_canopus, asymmetric_loss);
+}
+
+/// The throughput knobs (batching window + 4-deep pipelining) over real
+/// sockets, with the same partition scenario and the same verdict bar as
+/// the default configuration above.
+#[test]
+fn live_canopus_batched_superleaf_partition() {
+    fn build(topo: &ChaosTopology, hcfg: &HistoryConfig, seed: u64) -> LiveCluster<CanopusMsg> {
+        live_chaos_canopus_batched(topo, hcfg, seed, 4)
+    }
+    sweep::<CanopusMsg>(build, superleaf_partition);
 }
 
 #[test]

@@ -80,6 +80,7 @@ fn run_cluster(
     let mut cfg = CanopusConfig::default();
     if pipelined {
         cfg.trigger = CycleTrigger::Pipelined;
+        cfg.max_pipeline_depth = 64;
         cfg.cycle_interval = Dur::millis(2);
     }
     let mut sim = Simulation::new(UniformFabric::new(Dur::micros(40)), seed);
