@@ -25,11 +25,13 @@
 //!   BENCH_SWEEP=smoke|full   (default full; smoke skips the knee sweep)
 
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode};
-use canopus_bench::json::{extract_number, number, JsonObject};
+use canopus_bench::json::{escape, extract_number, number, JsonObject};
 use canopus_harness::{
-    build_canopus, canopus_config_for, fmt_rate, DeploymentSpec, LoadSpec, RunResult, SearchSpec,
+    build_canopus_obs, canopus_config_for, fmt_rate, ClusterObs, DeploymentSpec, LoadSpec,
+    RunResult, SearchSpec,
 };
 use canopus_net::{ClosFabric, LinkParams, Topology, WanMatrix};
+use canopus_obs::{bucket_bounds, HistogramSnapshot, Snapshot};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Payload, Process, Simulation, Time};
 use canopus_workload::{LatencyRecorder, OpenLoopClient};
 use rand::rngs::SmallRng;
@@ -50,6 +52,10 @@ const REGRESSION_TOLERANCE: f64 = 0.20;
 const SMOKE_RATE_UNBATCHED: f64 = 780_000.0;
 const SMOKE_RATE_BATCHED: f64 = 2_000_000.0;
 
+/// Flight-ring capacity for instrumented bench runs. The bench only
+/// reads registries, but `ClusterObs::on` sizes the ring too.
+const BENCH_FLIGHT_CAP: usize = 64;
+
 /// One measured point, with the node-side commit rate the harness's
 /// `RunResult` does not carry.
 #[derive(Clone, Debug)]
@@ -58,10 +64,19 @@ struct Measured {
     /// Node 0's committed weight per second of total run time — the
     /// "single-node committed ops/sec" measure the perf trajectory tracks.
     node0_committed_per_sec: f64,
+    /// Merged cluster metrics at the end of the run (empty when the point
+    /// was measured with observability off).
+    metrics: Snapshot,
 }
 
-fn measure(spec: &DeploymentSpec, load: &LoadSpec, cfg: CanopusConfig, seed: u64) -> Measured {
-    let mut cluster = build_canopus(spec, load, cfg, seed);
+fn measure(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: CanopusConfig,
+    seed: u64,
+    obs: ClusterObs,
+) -> Measured {
+    let mut cluster = build_canopus_obs(spec, load, cfg, seed, obs);
     cluster.sim.run_for(load.warmup + load.duration);
     let mut writes = LatencyRecorder::default();
     let mut reads = LatencyRecorder::default();
@@ -92,7 +107,60 @@ fn measure(spec: &DeploymentSpec, load: &LoadSpec, cfg: CanopusConfig, seed: u64
         run,
         node0_committed_per_sec: node0.committed_weight as f64
             / (load.warmup + load.duration).as_secs_f64(),
+        metrics: cluster.metrics_snapshot(),
     }
+}
+
+// -------------------------------------------------------------------
+// The `metrics` section: the observability evidence behind each number.
+// -------------------------------------------------------------------
+
+/// Compact JSON for one histogram: count, sum, mean, and the non-empty
+/// log₂ buckets as `[lo, hi, samples]` triples.
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut out = format!("{{\"count\":{},\"sum\":{}", h.count, h.sum);
+    if let Some(mean) = h.mean() {
+        out.push_str(&format!(",\"mean\":{}", number(mean)));
+    }
+    out.push_str(",\"buckets\":[");
+    for (i, &(b, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (lo, hi) = bucket_bounds(b);
+        out.push_str(&format!("[{lo},{hi},{n}]"));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `metrics` object recorded next to each measured point: batch-size
+/// and pipeline-occupancy histograms (summed over all nodes) plus wire
+/// bytes broken down by message type. Empty object when the point was
+/// measured with observability off.
+fn metrics_json(snap: &Snapshot) -> String {
+    let mut parts = Vec::new();
+    for (key, name) in [
+        ("batch_ops", "canopus.batch_ops"),
+        ("batch_weight", "canopus.batch_weight"),
+        ("pipeline_occupancy", "canopus.pipeline_occupancy"),
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            parts.push(format!("\"{key}\":{}", hist_json(h)));
+        }
+    }
+    let bytes: Vec<String> = snap
+        .counters
+        .iter()
+        .filter_map(|(name, v)| {
+            name.strip_prefix("net.sent.bytes.")
+                .map(|kind| format!("\"{}\":{v}", escape(kind)))
+        })
+        .collect();
+    if !bytes.is_empty() {
+        parts.push(format!("\"bytes_by_msg_type\":{{{}}}", bytes.join(",")));
+    }
+    format!("{{{}}}", parts.join(","))
 }
 
 /// The two compared configurations, as (node config, client batch cap).
@@ -125,7 +193,13 @@ fn knee_sweep(
     let mut rate = search.start_rate;
     for _ in 0..search.max_steps {
         let load = LoadSpec::new(rate).with_client_batch(client_batch);
-        let m = measure(spec, &load, cfg.clone(), seed);
+        let m = measure(
+            spec,
+            &load,
+            cfg.clone(),
+            seed,
+            ClusterObs::on(BENCH_FLIGHT_CAP),
+        );
         let sustainable = m.run.is_sustainable(search.latency_limit);
         eprintln!(
             "  offered={} achieved={} median={:?} node0={}/s{}",
@@ -160,7 +234,8 @@ fn ladder_json(ladder: &[Measured]) -> Vec<String> {
                         .map(|d| d.as_nanos() as f64 / 1e3)
                         .unwrap_or(f64::NAN),
                 )
-                .field_num("node0_committed_per_sec", m.node0_committed_per_sec);
+                .field_num("node0_committed_per_sec", m.node0_committed_per_sec)
+                .field_raw("metrics", metrics_json(&m.metrics));
             o.render().replace('\n', " ")
         })
         .collect()
@@ -327,6 +402,7 @@ fn main() {
         &smoke_load(SMOKE_RATE_UNBATCHED).with_client_batch(client_unbatched),
         cfg_unbatched.clone(),
         42,
+        ClusterObs::on(BENCH_FLIGHT_CAP),
     );
     eprintln!("== smoke: batched @ {} ==", fmt_rate(SMOKE_RATE_BATCHED));
     let smoke_b = measure(
@@ -334,6 +410,7 @@ fn main() {
         &smoke_load(SMOKE_RATE_BATCHED).with_client_batch(client_batched),
         cfg_batched.clone(),
         42,
+        ClusterObs::on(BENCH_FLIGHT_CAP),
     );
     let smoke_speedup = smoke_b.node0_committed_per_sec / smoke_u.node0_committed_per_sec;
     eprintln!(
@@ -349,7 +426,9 @@ fn main() {
         "smoke_batched_committed_ops_per_sec",
         smoke_b.node0_committed_per_sec,
     )
-    .field_num("smoke_speedup", smoke_speedup);
+    .field_num("smoke_speedup", smoke_speedup)
+    .field_raw("smoke_unbatched_metrics", metrics_json(&smoke_u.metrics))
+    .field_raw("smoke_batched_metrics", metrics_json(&smoke_b.metrics));
 
     if full {
         let search = SearchSpec {
@@ -386,11 +465,17 @@ fn main() {
         // Latency at 70 % of each maximum (§8.1 reporting point).
         let lat = |rate: f64, cfg: &CanopusConfig, client: u32| {
             let load = LoadSpec::new(rate * 0.7).with_client_batch(client);
-            measure(&spec, &load, cfg.clone(), 43)
-                .run
-                .median
-                .map(|d| d.as_nanos() as f64 / 1e3)
-                .unwrap_or(f64::NAN)
+            measure(
+                &spec,
+                &load,
+                cfg.clone(),
+                43,
+                ClusterObs::on(BENCH_FLIGHT_CAP),
+            )
+            .run
+            .median
+            .map(|d| d.as_nanos() as f64 / 1e3)
+            .unwrap_or(f64::NAN)
         };
         doc.field_num("knee_unbatched_ops_per_sec", knee_u)
             .field_num("knee_batched_ops_per_sec", knee_b)
@@ -440,6 +525,49 @@ fn main() {
     }
 
     if let Some(path) = check_path {
+        // The instrumented runs above must be byte-for-byte the runs a
+        // metrics-free build would do: rerun both smoke points with a
+        // disabled registry and demand identical committed op counts.
+        eprintln!("== check: observability must not perturb the run ==");
+        for (name, rate, cfg, client, observed) in [
+            (
+                "unbatched",
+                SMOKE_RATE_UNBATCHED,
+                &cfg_unbatched,
+                client_unbatched,
+                &smoke_u,
+            ),
+            (
+                "batched",
+                SMOKE_RATE_BATCHED,
+                &cfg_batched,
+                client_batched,
+                &smoke_b,
+            ),
+        ] {
+            let bare = measure(
+                &spec,
+                &smoke_load(rate).with_client_batch(client),
+                cfg.clone(),
+                42,
+                ClusterObs::off(),
+            );
+            assert!(
+                bare.node0_committed_per_sec == observed.node0_committed_per_sec
+                    && bare.run.achieved == observed.run.achieved,
+                "metrics-enabled smoke ({name}) diverged from metrics-off: \
+                 committed {}/s vs {}/s, achieved {}/s vs {}/s",
+                observed.node0_committed_per_sec,
+                bare.node0_committed_per_sec,
+                observed.run.achieved,
+                bare.run.achieved,
+            );
+            eprintln!(
+                "check metrics-off {name}: identical committed ops ({:.0}/s)",
+                bare.node0_committed_per_sec
+            );
+        }
+
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         match check_baseline(

@@ -115,6 +115,16 @@ impl Payload for CanopusMsg {
             CanopusMsg::ProposalResponse { state } => 1 + state.wire_bytes(),
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            CanopusMsg::Raft(_) => "raft",
+            CanopusMsg::Request(_) => "request",
+            CanopusMsg::Reply(_) => "reply",
+            CanopusMsg::ProposalRequest { .. } => "proposal_request",
+            CanopusMsg::ProposalResponse { .. } => "proposal_response",
+        }
+    }
 }
 
 impl Wire for CanopusMsg {

@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use canopus_kv::{ClientReply, ClientRequest, Key, KvStore, Op, OpResult};
 use canopus_net::wire::Wire;
+use canopus_obs::{Counter, EventKind as ObsEvent, Gauge, Histogram, NodeObs};
 use canopus_raft::{FailureDetector, Outbox, SuperLeafBroadcast};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
 use rand::rngs::SmallRng;
@@ -208,6 +209,43 @@ pub struct CanopusNode {
     store: KvStore,
     committed_log: Vec<CommittedCycle>,
     stats: CanopusStats,
+
+    // Observability (disabled by default; see [`CanopusNode::with_obs`]).
+    obs: CanopusObs,
+}
+
+/// Pre-registered observability handles. All of them are no-ops costing
+/// one branch per update unless [`CanopusNode::with_obs`] installed an
+/// enabled hub.
+struct CanopusObs {
+    hub: NodeObs,
+    cycles_started: Counter,
+    cycles_committed: Counter,
+    linger_fires: Counter,
+    tombstones: Counter,
+    rejoins: Counter,
+    batch_ops: Histogram,
+    batch_weight: Histogram,
+    pipeline_occupancy: Histogram,
+    in_flight: Gauge,
+}
+
+impl CanopusObs {
+    fn from_hub(hub: NodeObs) -> Self {
+        let m = &hub.metrics;
+        CanopusObs {
+            cycles_started: m.counter("canopus.cycles_started"),
+            cycles_committed: m.counter("canopus.cycles_committed"),
+            linger_fires: m.counter("canopus.linger_fires"),
+            tombstones: m.counter("canopus.tombstones"),
+            rejoins: m.counter("canopus.rejoins"),
+            batch_ops: m.histogram("canopus.batch_ops"),
+            batch_weight: m.histogram("canopus.batch_weight"),
+            pipeline_occupancy: m.histogram("canopus.pipeline_occupancy"),
+            in_flight: m.gauge("canopus.in_flight"),
+            hub,
+        }
+    }
 }
 
 impl CanopusNode {
@@ -259,7 +297,22 @@ impl CanopusNode {
             store: KvStore::new(),
             committed_log: Vec::new(),
             stats: CanopusStats::default(),
+            obs: CanopusObs::from_hub(NodeObs::disabled()),
         }
+    }
+
+    /// Installs an observability hub (metrics registry + flight recorder).
+    /// Builder-style so every existing `new` call site keeps compiling;
+    /// without this call the node carries a disabled hub whose updates
+    /// cost one branch each.
+    pub fn with_obs(mut self, hub: NodeObs) -> Self {
+        self.obs = CanopusObs::from_hub(hub);
+        self
+    }
+
+    /// This node's observability hub (disabled unless installed).
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs.hub
     }
 
     /// This node's id.
@@ -461,10 +514,30 @@ impl CanopusNode {
             return true;
         }
         match self.linger_until {
-            Some(deadline) => ctx.now() >= deadline,
+            Some(deadline) => {
+                let fired = ctx.now() >= deadline;
+                if fired {
+                    self.obs.linger_fires.inc();
+                    self.obs.hub.event(
+                        ctx.now().as_nanos(),
+                        ObsEvent::LingerFire {
+                            cycle: self.last_started.next().0,
+                            ops: self.pending_writes.len() as u64,
+                        },
+                    );
+                }
+                fired
+            }
             None => {
                 self.linger_until = Some(ctx.now() + self.cfg.max_linger);
                 ctx.set_timer(self.cfg.max_linger, LINGER);
+                self.obs.hub.event(
+                    ctx.now().as_nanos(),
+                    ObsEvent::LingerArm {
+                        cycle: self.last_started.next().0,
+                        ops: self.pending_writes.len() as u64,
+                    },
+                );
                 false
             }
         }
@@ -510,8 +583,25 @@ impl CanopusNode {
         // Batch everything pending: writes, lease requests, membership
         // updates. Reads buffered during the previous window are ordered by
         // this cycle (§5).
+        let batch_weight = self.pending_weight;
         let ops: Vec<TimedOp> = self.pending_writes.drain(..).collect();
         self.pending_weight = 0;
+
+        let in_flight = self.in_flight();
+        self.obs.cycles_started.inc();
+        self.obs.batch_ops.observe(ops.len() as u64);
+        self.obs.batch_weight.observe(batch_weight);
+        self.obs.pipeline_occupancy.observe(in_flight);
+        self.obs.in_flight.set(in_flight as i64);
+        self.obs.hub.event(
+            ctx.now().as_nanos(),
+            ObsEvent::CycleStart {
+                cycle: c.0,
+                ops: ops.len() as u64,
+                weight: batch_weight,
+                in_flight,
+            },
+        );
         let lease_requests: Vec<Key> = std::mem::take(&mut self.requested_leases)
             .into_iter()
             .collect();
@@ -739,6 +829,14 @@ impl CanopusNode {
                 if from_cycle < *entry {
                     *entry = from_cycle;
                 }
+                self.obs.tombstones.inc();
+                self.obs.hub.event(
+                    ctx.now().as_nanos(),
+                    ObsEvent::Tombstone {
+                        cycle: from_cycle.0,
+                        group: node.0,
+                    },
+                );
                 self.pending_tombstones.remove(&node);
                 self.rejoined.remove(&node);
                 // Propose the membership change for the emulation tables of
@@ -762,6 +860,14 @@ impl CanopusNode {
                 self.superleaf_roster.insert(node);
                 self.tombstoned.remove(&node);
                 self.rejoined.insert(node, from_cycle);
+                self.obs.rejoins.inc();
+                self.obs.hub.event(
+                    ctx.now().as_nanos(),
+                    ObsEvent::Rejoin {
+                        cycle: from_cycle.0,
+                        group: node.0,
+                    },
+                );
                 let superleaf = self.my_superleaf as u32;
                 let update = MembershipUpdate::Join { node, superleaf };
                 if !self.pending_updates.contains(&update) {
@@ -789,6 +895,13 @@ impl CanopusNode {
             let contributors: Vec<VnodeState> = entry.round1.values().cloned().collect();
             let h1 = VnodeState::merge(self.my_parent.clone(), contributors);
             entry.ancestors[0] = Some(h1);
+            self.obs.hub.event(
+                ctx.now().as_nanos(),
+                ObsEvent::RoundComplete {
+                    cycle: c.0,
+                    round: 1,
+                },
+            );
             self.answer_waiting(c, ctx);
         }
 
@@ -836,6 +949,13 @@ impl CanopusNode {
             }
             let merged = VnodeState::merge(target, states);
             entry.ancestors[r - 1] = Some(merged);
+            self.obs.hub.event(
+                ctx.now().as_nanos(),
+                ObsEvent::RoundComplete {
+                    cycle: c.0,
+                    round: r as u64,
+                },
+            );
             self.answer_waiting(c, ctx);
         }
 
@@ -1017,6 +1137,15 @@ impl CanopusNode {
             });
         }
         self.last_committed = c;
+        self.obs.cycles_committed.inc();
+        self.obs.in_flight.set(self.in_flight() as i64);
+        self.obs.hub.event(
+            now.as_nanos(),
+            ObsEvent::Commit {
+                cycle: c.0,
+                weight: total_weight,
+            },
+        );
 
         // 6. Prune retired cycle state.
         let keep_from = CycleId(c.0.saturating_sub(self.cfg.state_retention));

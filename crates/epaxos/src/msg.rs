@@ -148,6 +148,18 @@ impl Payload for EpaxosMsg {
             }
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            EpaxosMsg::Request(_) => "request",
+            EpaxosMsg::Reply(_) => "reply",
+            EpaxosMsg::PreAccept { .. } => "pre_accept",
+            EpaxosMsg::PreAcceptOk { .. } => "pre_accept_ok",
+            EpaxosMsg::Accept { .. } => "accept",
+            EpaxosMsg::AcceptOk { .. } => "accept_ok",
+            EpaxosMsg::Commit { .. } => "commit",
+        }
+    }
 }
 
 impl Wire for EpaxosMsg {

@@ -18,6 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use canopus_kv::{ClientReply, CostModel, Key, KvStore, Op, OpResult, TimedOp};
+use canopus_obs::{Counter, EventKind as ObsEvent, Gauge, NodeObs};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
 
 use crate::graph::{execution_order, GraphNode};
@@ -85,6 +86,28 @@ pub struct EpaxosStats {
     pub own_completed: u64,
 }
 
+/// Observability handles, pre-registered so the hot path never does a
+/// name lookup. All handles are inert when the hub is disabled.
+struct EpaxosObs {
+    hub: NodeObs,
+    led_commits: Counter,
+    fast_path: Counter,
+    slow_path: Counter,
+    exec_backlog: Gauge,
+}
+
+impl EpaxosObs {
+    fn from_hub(hub: NodeObs) -> Self {
+        EpaxosObs {
+            led_commits: hub.metrics.counter("epaxos.led_commits"),
+            fast_path: hub.metrics.counter("epaxos.fast_path"),
+            slow_path: hub.metrics.counter("epaxos.slow_path"),
+            exec_backlog: hub.metrics.gauge("epaxos.exec_backlog"),
+            hub,
+        }
+    }
+}
+
 /// One EPaxos replica.
 pub struct EpaxosNode {
     cfg: EpaxosConfig,
@@ -100,6 +123,7 @@ pub struct EpaxosNode {
     blocked: BTreeMap<InstanceId, GraphNode>,
     store: KvStore,
     stats: EpaxosStats,
+    obs: EpaxosObs,
     /// Per-key write order with local execution times, for cross-replica
     /// and linearizability checks.
     write_log: BTreeMap<Key, Vec<(NodeId, u64, Time)>>,
@@ -125,8 +149,20 @@ impl EpaxosNode {
             blocked: BTreeMap::new(),
             store: KvStore::new(),
             stats: EpaxosStats::default(),
+            obs: EpaxosObs::from_hub(NodeObs::disabled()),
             write_log: BTreeMap::new(),
         }
+    }
+
+    /// Attaches an observability hub (metrics registry + flight recorder).
+    pub fn with_obs(mut self, hub: NodeObs) -> Self {
+        self.obs = EpaxosObs::from_hub(hub);
+        self
+    }
+
+    /// The node's observability hub.
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs.hub
     }
 
     /// This replica's id.
@@ -267,6 +303,14 @@ impl EpaxosNode {
             (i.batch.clone(), i.seq, i.deps.clone())
         };
         self.stats.led_commits += 1;
+        self.obs.led_commits.inc();
+        self.obs.hub.event(
+            ctx.now().as_nanos(),
+            ObsEvent::Commit {
+                cycle: inst.slot,
+                weight: batch.weight(),
+            },
+        );
         // Reply to writes at commit (reads reply at execution, with data).
         let write_replies: Vec<(NodeId, ClientReply)> = batch
             .ops
@@ -513,10 +557,12 @@ impl EpaxosNode {
             None => {}
             Some(true) => {
                 self.stats.fast_path += 1;
+                self.obs.fast_path.inc();
                 self.commit(inst, ctx);
             }
             Some(false) => {
                 self.stats.slow_path += 1;
+                self.obs.slow_path.inc();
                 let (batch, seq, deps) = {
                     let i = &self.instances[&inst];
                     (i.batch.clone(), i.seq, i.deps.clone())
@@ -661,6 +707,7 @@ impl Process<EpaxosMsg> for EpaxosNode {
     fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, EpaxosMsg>) {
         if timer.token == BATCH_TIMER {
             self.propose_batch(ctx);
+            self.obs.exec_backlog.set(self.blocked.len() as i64);
             ctx.set_timer(self.cfg.batch_duration, BATCH_TIMER);
         }
     }

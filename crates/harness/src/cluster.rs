@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode, CycleTrigger, EmulationTable, LotShape};
 use canopus_epaxos::{EpaxosConfig, EpaxosMsg, EpaxosNode};
 use canopus_net::ClosFabric;
+use canopus_obs::{NodeObs, Registry, Snapshot};
 use canopus_sim::fault::{FaultAction, FaultPlan, NemesisDriver};
 use canopus_sim::{
     impl_process_any, Dur, LossyFabric, NodeConfig, NodeId, PartitionableFabric, Payload, Process,
@@ -32,6 +33,47 @@ use crate::spec::{DeploymentSpec, LoadSpec, TopoSpec};
 /// The default fabric of every built cluster: partitions over loss over
 /// the Clos topology.
 pub type ChaosFabric = PartitionableFabric<LossyFabric<ClosFabric>>;
+
+/// Observability configuration for a cluster build: disabled (the
+/// default for benchmarks — every recording is one branch) or enabled
+/// with per-node flight rings of `flight_cap` events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterObs {
+    /// Capacity of each node's flight-recorder ring; 0 disables obs.
+    pub flight_cap: usize,
+}
+
+impl ClusterObs {
+    /// Fully disabled: nodes carry inert hubs.
+    pub fn off() -> Self {
+        ClusterObs { flight_cap: 0 }
+    }
+
+    /// Enabled with the given flight-ring capacity per node.
+    pub fn on(flight_cap: usize) -> Self {
+        ClusterObs { flight_cap }
+    }
+
+    fn hub(&self, node: u32) -> NodeObs {
+        if self.flight_cap == 0 {
+            NodeObs::disabled()
+        } else {
+            NodeObs::enabled(node, self.flight_cap)
+        }
+    }
+
+    fn hubs(&self, n: usize) -> Vec<NodeObs> {
+        (0..n as u32).map(|i| self.hub(i)).collect()
+    }
+
+    fn net_registry(&self) -> Registry {
+        if self.flight_cap == 0 {
+            Registry::disabled()
+        } else {
+            Registry::new()
+        }
+    }
+}
 
 /// Builds the replacement process when the nemesis restarts a crashed
 /// node. Receives the crashed process when the kernel still holds it, so
@@ -72,6 +114,12 @@ pub struct Cluster<M: Payload> {
     pub clients: Vec<NodeId>,
     restart_factory: RestartFactory<M>,
     ever_crashed: BTreeSet<NodeId>,
+    /// One observability hub per protocol node (all disabled unless the
+    /// cluster was built with [`ClusterObs::on`]).
+    hubs: Vec<NodeObs>,
+    /// The registry the simulator's network layer counts sent messages
+    /// and bytes into (by wire kind).
+    net_registry: Registry,
 }
 
 impl<M: Payload> Cluster<M> {
@@ -113,6 +161,36 @@ impl<M: Payload> Cluster<M> {
             .copied()
             .filter(|&n| self.sim.is_alive(n) && !self.ever_crashed.contains(&n))
             .collect()
+    }
+
+    /// Per-node observability hubs (empty or inert when obs is off).
+    pub fn obs_hubs(&self) -> &[NodeObs] {
+        &self.hubs
+    }
+
+    /// The registry the simulated network counts into.
+    pub fn net_registry(&self) -> &Registry {
+        &self.net_registry
+    }
+
+    /// Every node's flight recorder, dumped (`last` events each) into one
+    /// string — the panic artifact chaos failures attach.
+    pub fn flight_dump(&self, last: usize) -> String {
+        let mut out = String::new();
+        for hub in &self.hubs {
+            out.push_str(&hub.flight.dump_last(last));
+        }
+        out
+    }
+
+    /// One merged snapshot: every node's registry plus the network
+    /// registry, aggregated by metric name.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.net_registry.snapshot();
+        for hub in &self.hubs {
+            snap.merge(&hub.metrics.snapshot());
+        }
+        snap
     }
 }
 
@@ -168,7 +246,20 @@ where
         clients,
         restart_factory,
         ever_crashed: BTreeSet::new(),
+        hubs: Vec::new(),
+        net_registry: Registry::disabled(),
     }
+}
+
+/// Attaches pre-built hubs and a network registry to a freshly built
+/// cluster: the hubs become visible through [`Cluster::obs_hubs`] and the
+/// simulated network starts counting into `net_registry`. Recording is
+/// observation-only — it never touches the RNG, the event queue, or the
+/// trace hash, so enabling obs cannot change an execution.
+fn install_obs<M: Payload>(cluster: &mut Cluster<M>, hubs: Vec<NodeObs>, net_registry: Registry) {
+    cluster.sim.set_net_metrics(net_registry.clone());
+    cluster.hubs = hubs;
+    cluster.net_registry = net_registry;
 }
 
 fn open_loop_client_factory<M>(
@@ -242,24 +333,33 @@ pub fn build_canopus_with(
     cfg: CanopusConfig,
     seed: u64,
     make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<CanopusMsg>>,
+    obs: ClusterObs,
 ) -> Cluster<CanopusMsg> {
     let table = emulation_table_for(spec);
     let restart_table = table.clone();
     let restart_cfg = cfg.clone();
-    build_custom(
+    let hubs = obs.hubs(spec.node_count());
+    let node_hubs = hubs.clone();
+    let restart_hubs = hubs.clone();
+    let mut cluster = build_custom(
         spec,
         seed,
-        |id| Box::new(CanopusNode::new(id, table.clone(), cfg.clone(), seed)),
+        |id| {
+            Box::new(
+                CanopusNode::new(id, table.clone(), cfg.clone(), seed)
+                    .with_obs(node_hubs[id.0 as usize].clone()),
+            )
+        },
         make_client,
         Box::new(move |id, _old| {
-            Box::new(CanopusNode::new(
-                id,
-                restart_table.clone(),
-                restart_cfg.clone(),
-                seed,
-            ))
+            Box::new(
+                CanopusNode::new(id, restart_table.clone(), restart_cfg.clone(), seed)
+                    .with_obs(restart_hubs[id.0 as usize].clone()),
+            )
         }),
-    )
+    );
+    install_obs(&mut cluster, hubs, obs.net_registry());
+    cluster
 }
 
 /// Builds a Canopus cluster: one super-leaf per rack/datacenter.
@@ -270,7 +370,21 @@ pub fn build_canopus(
     seed: u64,
 ) -> Cluster<CanopusMsg> {
     let clients = open_loop_client_factory(load, spec.node_count(), seed);
-    build_canopus_with(spec, cfg, seed, clients)
+    build_canopus_with(spec, cfg, seed, clients, ClusterObs::off())
+}
+
+/// [`build_canopus`] with observability attached — the benchmark path
+/// uses this to emit batch-size and pipeline-occupancy metrics next to
+/// each ladder point.
+pub fn build_canopus_obs(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: CanopusConfig,
+    seed: u64,
+    obs: ClusterObs,
+) -> Cluster<CanopusMsg> {
+    let clients = open_loop_client_factory(load, spec.node_count(), seed);
+    build_canopus_with(spec, cfg, seed, clients, obs)
 }
 
 /// Builds an EPaxos cluster over custom clients. EPaxos has no recovery
@@ -283,16 +397,26 @@ pub fn build_epaxos_with(
     cfg: EpaxosConfig,
     seed: u64,
     make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<EpaxosMsg>>,
+    obs: ClusterObs,
 ) -> Cluster<EpaxosMsg> {
     let n = spec.node_count();
     let replicas: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
-    build_custom(
+    let hubs = obs.hubs(n);
+    let node_hubs = hubs.clone();
+    let mut cluster = build_custom(
         spec,
         seed,
-        |id| Box::new(EpaxosNode::new(id, replicas.clone(), cfg.clone())),
+        |id| {
+            Box::new(
+                EpaxosNode::new(id, replicas.clone(), cfg.clone())
+                    .with_obs(node_hubs[id.0 as usize].clone()),
+            )
+        },
         make_client,
         Box::new(|_id, _old| Box::new(SilentNode::<EpaxosMsg>::default())),
-    )
+    );
+    install_obs(&mut cluster, hubs, obs.net_registry());
+    cluster
 }
 
 /// Builds an EPaxos cluster over the same deployment.
@@ -303,7 +427,7 @@ pub fn build_epaxos(
     seed: u64,
 ) -> Cluster<EpaxosMsg> {
     let clients = open_loop_client_factory(load, spec.node_count(), seed);
-    build_epaxos_with(spec, cfg, seed, clients)
+    build_epaxos_with(spec, cfg, seed, clients, ClusterObs::off())
 }
 
 /// Builds a ZooKeeper-model cluster over custom clients. A restarted node
@@ -316,24 +440,34 @@ pub fn build_zab_with(
     cfg: ZabConfig,
     seed: u64,
     make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<ZabMsg>>,
+    obs: ClusterObs,
 ) -> Cluster<ZabMsg> {
     let n = spec.node_count();
     let ensemble: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let restart_ensemble = ensemble.clone();
     let restart_cfg = cfg.clone();
-    build_custom(
+    let hubs = obs.hubs(n);
+    let node_hubs = hubs.clone();
+    let restart_hubs = hubs.clone();
+    let mut cluster = build_custom(
         spec,
         seed,
-        |id| Box::new(ZabNode::new(id, ensemble.clone(), cfg.clone())),
+        |id| {
+            Box::new(
+                ZabNode::new(id, ensemble.clone(), cfg.clone())
+                    .with_obs(node_hubs[id.0 as usize].clone()),
+            )
+        },
         make_client,
         Box::new(move |id, _old| {
-            Box::new(ZabNode::recovering(
-                id,
-                restart_ensemble.clone(),
-                restart_cfg.clone(),
-            ))
+            Box::new(
+                ZabNode::recovering(id, restart_ensemble.clone(), restart_cfg.clone())
+                    .with_obs(restart_hubs[id.0 as usize].clone()),
+            )
         }),
-    )
+    );
+    install_obs(&mut cluster, hubs, obs.net_registry());
+    cluster
 }
 
 /// Builds a ZooKeeper-model cluster: `participants` quorum members (leader
@@ -345,7 +479,7 @@ pub fn build_zab(
     seed: u64,
 ) -> Cluster<ZabMsg> {
     let clients = open_loop_client_factory(load, spec.node_count(), seed);
-    build_zab_with(spec, cfg, seed, clients)
+    build_zab_with(spec, cfg, seed, clients, ClusterObs::off())
 }
 
 /// Builds a Raft KV cluster over custom clients. A restarted node
@@ -356,29 +490,39 @@ pub fn build_raftkv_with(
     cfg: RaftKvConfig,
     seed: u64,
     make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<RaftKvMsg>>,
+    obs: ClusterObs,
 ) -> Cluster<RaftKvMsg> {
     let n = spec.node_count();
     let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let restart_members = members.clone();
     let restart_cfg = cfg.clone();
-    build_custom(
+    let hubs = obs.hubs(n);
+    let node_hubs = hubs.clone();
+    let restart_hubs = hubs.clone();
+    let mut cluster = build_custom(
         spec,
         seed,
-        |id| Box::new(RaftKvNode::new(id, members.clone(), cfg.clone(), seed)),
+        |id| {
+            Box::new(
+                RaftKvNode::new(id, members.clone(), cfg.clone(), seed)
+                    .with_obs(node_hubs[id.0 as usize].clone()),
+            )
+        },
         make_client,
         Box::new(move |id, old| {
             let recovered = old.and_then(|p| p.into_any().downcast::<RaftKvNode>().ok());
+            let hub = restart_hubs[id.0 as usize].clone();
             match recovered {
-                Some(node) => Box::new(RaftKvNode::recover(&node, seed)),
-                None => Box::new(RaftKvNode::new(
-                    id,
-                    restart_members.clone(),
-                    restart_cfg.clone(),
-                    seed,
-                )),
+                Some(node) => Box::new(RaftKvNode::recover(&node, seed).with_obs(hub)),
+                None => Box::new(
+                    RaftKvNode::new(id, restart_members.clone(), restart_cfg.clone(), seed)
+                        .with_obs(hub),
+                ),
             }
         }),
-    )
+    );
+    install_obs(&mut cluster, hubs, obs.net_registry());
+    cluster
 }
 
 /// Builds a Raft KV cluster driven by the paper's open-loop client model.
@@ -389,5 +533,5 @@ pub fn build_raftkv(
     seed: u64,
 ) -> Cluster<RaftKvMsg> {
     let clients = open_loop_client_factory(load, spec.node_count(), seed);
-    build_raftkv_with(spec, cfg, seed, clients)
+    build_raftkv_with(spec, cfg, seed, clients, ClusterObs::off())
 }

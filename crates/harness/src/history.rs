@@ -695,11 +695,33 @@ fn history_clients<M: ProtocolMsg + 'static>(
     move |i, target| Box::new(HistoryClient::<M>::new(i, total, target, cfg.clone()))
 }
 
+/// Flight-ring capacity for chaos clusters: enough to hold the tail of a
+/// run's consensus events for the failure dump without unbounded memory.
+pub const CHAOS_FLIGHT_CAP: usize = 256;
+
+fn chaos_obs() -> crate::cluster::ClusterObs {
+    crate::cluster::ClusterObs::on(CHAOS_FLIGHT_CAP)
+}
+
 /// A Canopus cluster driven by history clients (commit log recording on).
+/// Observability is enabled so a failing verdict can dump each node's
+/// flight recorder; recording is observation-only, so the execution is
+/// identical to an unobserved run (the determinism suite proves it).
 pub fn chaos_canopus(
     spec: &crate::spec::DeploymentSpec,
     hcfg: &HistoryConfig,
     seed: u64,
+) -> Cluster<CanopusMsg> {
+    chaos_canopus_with_obs(spec, hcfg, seed, chaos_obs())
+}
+
+/// [`chaos_canopus`] with explicit observability configuration — the
+/// determinism regression compares an observed and an unobserved run.
+pub fn chaos_canopus_with_obs(
+    spec: &crate::spec::DeploymentSpec,
+    hcfg: &HistoryConfig,
+    seed: u64,
+    obs: crate::cluster::ClusterObs,
 ) -> Cluster<CanopusMsg> {
     let mut cfg = crate::cluster::canopus_config_for(spec);
     cfg.record_log = true;
@@ -708,6 +730,7 @@ pub fn chaos_canopus(
         cfg,
         seed,
         history_clients(spec.node_count(), hcfg.clone()),
+        obs,
     )
 }
 
@@ -730,6 +753,7 @@ pub fn chaos_canopus_batched(
         cfg,
         seed,
         history_clients(spec.node_count(), hcfg.clone()),
+        chaos_obs(),
     )
 }
 
@@ -749,6 +773,7 @@ pub fn chaos_epaxos(
         cfg,
         seed,
         history_clients(spec.node_count(), hcfg.clone()),
+        chaos_obs(),
     )
 }
 
@@ -768,6 +793,7 @@ pub fn chaos_zab(
         cfg,
         seed,
         history_clients(spec.node_count(), hcfg.clone()),
+        chaos_obs(),
     )
 }
 
@@ -782,5 +808,6 @@ pub fn chaos_raftkv(
         crate::raftkv::RaftKvConfig::default(),
         seed,
         history_clients(spec.node_count(), hcfg.clone()),
+        chaos_obs(),
     )
 }

@@ -19,19 +19,21 @@ pub mod spec;
 pub mod table;
 
 pub use cluster::{
-    build_canopus, build_canopus_with, build_custom, build_epaxos, build_epaxos_with, build_raftkv,
-    build_raftkv_with, build_zab, build_zab_with, canopus_config_for, emulation_table_for,
-    ChaosFabric, Cluster, RestartFactory, SilentNode,
+    build_canopus, build_canopus_obs, build_canopus_with, build_custom, build_epaxos,
+    build_epaxos_with, build_raftkv, build_raftkv_with, build_zab, build_zab_with,
+    canopus_config_for, emulation_table_for, ChaosFabric, Cluster, ClusterObs, RestartFactory,
+    SilentNode,
 };
 pub use history::{
-    chaos_canopus, chaos_canopus_batched, chaos_epaxos, chaos_raftkv, chaos_verdict,
-    chaos_verdict_parts, chaos_zab, decode_tag, encode_tag, ChaosProtocol, ChaosReport,
-    ClientHistory, HistoryClient, HistoryConfig, HistoryOp,
+    chaos_canopus, chaos_canopus_batched, chaos_canopus_with_obs, chaos_epaxos, chaos_raftkv,
+    chaos_verdict, chaos_verdict_parts, chaos_zab, decode_tag, encode_tag, ChaosProtocol,
+    ChaosReport, ClientHistory, HistoryClient, HistoryConfig, HistoryOp, CHAOS_FLIGHT_CAP,
 };
 pub use live::{
     live_canopus_config, live_chaos_canopus, live_chaos_canopus_batched, live_chaos_raftkv,
     live_chaos_zab, live_history_config, live_raft_config, live_raftkv_config, live_timeline,
-    live_topology, live_zab_config, LiveCluster, LiveOutcome, LIVE_TIME_UNIT,
+    live_topology, live_zab_config, AttachObs, LiveCluster, LiveOutcome, LIVE_FLIGHT_CAP,
+    LIVE_TIME_UNIT,
 };
 pub use raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode, RaftKvStats};
 pub use run::{

@@ -55,8 +55,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode, CycleTrigger, EmulationTable, LotShape};
-use canopus_net::tcp::{spawn_node_with_rules, PeerMap, TcpNodeHandle};
+use canopus_net::tcp::{spawn_node_obs, NetObs, PeerMap, TcpNodeHandle};
 use canopus_net::{FaultRules, Wire};
+use canopus_obs::{EventKind as ObsEvent, NodeObs, Snapshot};
 use canopus_raft::RaftConfig;
 use canopus_sim::fault::{FaultAction, FaultPlan, NemesisFabric, NemesisSchedule};
 use canopus_sim::{Dur, NodeId, Payload, Process, Time};
@@ -68,6 +69,15 @@ use crate::history::{
 };
 use crate::raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode};
 use crate::scenarios::{ChaosTimeline, ChaosTopology};
+
+/// Flight-ring capacity per live node: the tail of a run's consensus
+/// events, kept small because each live node is a handful of OS threads.
+pub const LIVE_FLIGHT_CAP: usize = 256;
+
+/// Re-attaches a node's observability hub to a freshly built process —
+/// needed on restart because the per-protocol restart factories build
+/// bare processes. Each live builder supplies the protocol's downcast.
+pub type AttachObs<M> = Box<dyn Fn(Box<dyn Process<M>>, NodeObs) -> Box<dyn Process<M>>>;
 
 /// One real-time "tick" for live clusters. Every live election, failure,
 /// and fetch timeout is a multiple of this — change it here to retune the
@@ -181,6 +191,10 @@ pub struct LiveCluster<M: ChaosProtocol + Wire + Send> {
     down: BTreeMap<NodeId, Box<dyn Process<M>>>,
     ever_crashed: BTreeSet<NodeId>,
     restart_factory: RestartFactory<M>,
+    /// One observability hub per protocol node (inert unless spawned via
+    /// [`LiveCluster::spawn_obs`]).
+    hubs: Vec<NodeObs>,
+    attach: Option<AttachObs<M>>,
 }
 
 impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
@@ -192,9 +206,33 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         n: usize,
         hcfg: &HistoryConfig,
         seed: u64,
-        mut make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
+        make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
         restart_factory: RestartFactory<M>,
     ) -> Self {
+        Self::spawn_obs(n, hcfg, seed, make_node, restart_factory, None)
+    }
+
+    /// [`LiveCluster::spawn`] with observability: when `attach` is given,
+    /// every protocol node gets an enabled hub ([`LIVE_FLIGHT_CAP`]-event
+    /// flight ring + registry) wired into both its process (via `attach`)
+    /// and its transport (per-peer traffic, flush sizes, queue depth).
+    pub fn spawn_obs(
+        n: usize,
+        hcfg: &HistoryConfig,
+        seed: u64,
+        mut make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
+        restart_factory: RestartFactory<M>,
+        attach: Option<AttachObs<M>>,
+    ) -> Self {
+        let hubs: Vec<NodeObs> = (0..n as u32)
+            .map(|i| {
+                if attach.is_some() {
+                    NodeObs::enabled(i, LIVE_FLIGHT_CAP)
+                } else {
+                    NodeObs::disabled()
+                }
+            })
+            .collect();
         let rules = Arc::new(FaultRules::new(seed));
         let mut peers = PeerMap::new();
         let bind = |id: NodeId, peers: &mut PeerMap| {
@@ -218,10 +256,13 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
             down: BTreeMap::new(),
             ever_crashed: BTreeSet::new(),
             restart_factory,
+            hubs,
+            attach,
         };
         for (i, listener) in node_listeners.into_iter().enumerate() {
             let id = NodeId(i as u32);
-            let handle = cluster.launch(id, &listener, make_node(id));
+            let process = cluster.attach_obs(id, make_node(id));
+            let handle = cluster.launch(id, &listener, process);
             cluster.nodes.push(LiveSlot {
                 id,
                 listener,
@@ -241,6 +282,14 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         cluster
     }
 
+    /// Runs a fresh process through the obs attach hook, when both exist.
+    fn attach_obs(&self, id: NodeId, process: Box<dyn Process<M>>) -> Box<dyn Process<M>> {
+        match (&self.attach, self.hubs.get(id.0 as usize)) {
+            (Some(attach), Some(hub)) if hub.is_enabled() => attach(process, hub.clone()),
+            _ => process,
+        }
+    }
+
     fn launch(
         &self,
         id: NodeId,
@@ -248,13 +297,20 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         process: Box<dyn Process<M>>,
     ) -> TcpNodeHandle<M> {
         let listener = listener.try_clone().expect("clone listener");
-        spawn_node_with_rules(
+        let net_obs = self
+            .hubs
+            .get(id.0 as usize)
+            .filter(|hub| hub.is_enabled())
+            .map(|hub| NetObs::new(hub.clone()))
+            .unwrap_or_default();
+        spawn_node_obs(
             id,
             process,
             listener,
             self.peers.clone(),
             self.seed.wrapping_add(id.0 as u64),
             Arc::clone(&self.rules),
+            net_obs,
         )
     }
 
@@ -271,6 +327,30 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
     /// Protocol node ids.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.nodes.iter().map(|s| s.id).collect()
+    }
+
+    /// Per-node observability hubs (inert unless spawned with obs).
+    pub fn obs_hubs(&self) -> &[NodeObs] {
+        &self.hubs
+    }
+
+    /// Every node's metrics registry, snapshotted: `(node id, snapshot)`.
+    pub fn metrics_snapshots(&self) -> Vec<(NodeId, Snapshot)> {
+        self.hubs
+            .iter()
+            .enumerate()
+            .map(|(i, hub)| (NodeId(i as u32), hub.metrics.snapshot()))
+            .collect()
+    }
+
+    /// Every node's flight recorder, dumped (`last` events each) into one
+    /// string — the panic artifact chaos failures attach.
+    pub fn flight_dump(&self, last: usize) -> String {
+        let mut out = String::new();
+        for hub in &self.hubs {
+            out.push_str(&hub.flight.dump_last(last));
+        }
+        out
     }
 
     /// Replays `plan` against the live cluster over the next `horizon` of
@@ -332,6 +412,9 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         // Mark first so in-flight traffic is dropped while the loop winds
         // down — the closest live analogue of an instantaneous crash.
         self.rules.set_crashed(id, true);
+        if let Some(hub) = self.hubs.get(id.0 as usize) {
+            hub.event(self.now().as_nanos(), ObsEvent::Crash);
+        }
         let process = handle.stop();
         self.down.insert(id, process);
         true
@@ -345,6 +428,10 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         }
         let old = self.down.remove(&id);
         let process = (self.restart_factory)(id, old);
+        let process = self.attach_obs(id, process);
+        if let Some(hub) = self.hubs.get(id.0 as usize) {
+            hub.event(self.now().as_nanos(), ObsEvent::Restart);
+        }
         let listener = self.nodes[id.0 as usize]
             .listener
             .try_clone()
@@ -382,6 +469,7 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
             nodes,
             clients,
             ever_crashed: self.ever_crashed,
+            hubs: self.hubs,
         }
     }
 }
@@ -418,9 +506,31 @@ pub struct LiveOutcome<M: ChaosProtocol> {
     pub clients: Vec<(NodeId, NodeId, Box<dyn Process<M>>)>,
     /// Nodes the nemesis crashed at least once.
     pub ever_crashed: BTreeSet<NodeId>,
+    /// Per-node observability hubs, retained across shutdown so a failing
+    /// verdict can still dump flight recorders and collect metrics.
+    pub hubs: Vec<NodeObs>,
 }
 
 impl<M: ChaosProtocol> LiveOutcome<M> {
+    /// Every node's flight recorder, dumped (`last` events each) into one
+    /// string — the panic artifact chaos failures attach.
+    pub fn flight_dump(&self, last: usize) -> String {
+        let mut out = String::new();
+        for hub in &self.hubs {
+            out.push_str(&hub.flight.dump_last(last));
+        }
+        out
+    }
+
+    /// Every node's metrics registry, snapshotted: `(node id, snapshot)`.
+    pub fn metrics_snapshots(&self) -> Vec<(NodeId, Snapshot)> {
+        self.hubs
+            .iter()
+            .enumerate()
+            .map(|(i, hub)| (NodeId(i as u32), hub.metrics.snapshot()))
+            .collect()
+    }
+
     /// Nodes held to the full safety and convergence bar: up at shutdown
     /// and never crashed.
     pub fn trusted_nodes(&self) -> Vec<NodeId> {
@@ -533,7 +643,7 @@ fn live_chaos_canopus_with(
     let table = EmulationTable::new(shape, membership);
     let restart_table = table.clone();
     let restart_cfg = cfg.clone();
-    LiveCluster::spawn(
+    LiveCluster::spawn_obs(
         topo.node_count(),
         hcfg,
         seed,
@@ -546,6 +656,13 @@ fn live_chaos_canopus_with(
                 seed,
             ))
         }),
+        Some(Box::new(|p, hub| {
+            let node = p
+                .into_any()
+                .downcast::<CanopusNode>()
+                .expect("canopus node");
+            Box::new(node.with_obs(hub))
+        })),
     )
 }
 
@@ -561,7 +678,7 @@ pub fn live_chaos_zab(
     let ensemble: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let restart_ensemble = ensemble.clone();
     let restart_cfg = cfg.clone();
-    LiveCluster::spawn(
+    LiveCluster::spawn_obs(
         n,
         hcfg,
         seed,
@@ -573,6 +690,10 @@ pub fn live_chaos_zab(
                 restart_cfg.clone(),
             ))
         }),
+        Some(Box::new(|p, hub| {
+            let node = p.into_any().downcast::<ZabNode>().expect("zab node");
+            Box::new(node.with_obs(hub))
+        })),
     )
 }
 
@@ -588,7 +709,7 @@ pub fn live_chaos_raftkv(
     let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let restart_members = members.clone();
     let restart_cfg = cfg.clone();
-    LiveCluster::spawn(
+    LiveCluster::spawn_obs(
         n,
         hcfg,
         seed,
@@ -605,5 +726,9 @@ pub fn live_chaos_raftkv(
                 )),
             }
         }),
+        Some(Box::new(|p, hub| {
+            let node = p.into_any().downcast::<RaftKvNode>().expect("raft kv node");
+            Box::new(node.with_obs(hub))
+        })),
     )
 }

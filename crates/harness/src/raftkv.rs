@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use bytes::{Bytes, BytesMut};
 use canopus_kv::{ClientReply, ClientRequest, CostModel, Key, KvStore, Op, OpResult};
 use canopus_net::wire::{Wire, WireError, WireRead};
+use canopus_obs::{Counter, EventKind as ObsEvent, Gauge, NodeObs};
 use canopus_raft::{Entry, GroupId, Outbox, RaftConfig, RaftCore, RaftMsg};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Payload, Process, Time, Timer};
 use canopus_workload::ProtocolMsg;
@@ -53,6 +54,15 @@ impl Payload for RaftKvMsg {
             RaftKvMsg::Request(r) => 1 + 13 + r.op.payload_bytes().min(64),
             RaftKvMsg::Forward { req, .. } => 1 + 17 + req.op.payload_bytes().min(64),
             RaftKvMsg::Reply(_) => 1 + 14,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            RaftKvMsg::Raft(_) => "raft",
+            RaftKvMsg::Request(_) => "request",
+            RaftKvMsg::Forward { .. } => "forward",
+            RaftKvMsg::Reply(_) => "reply",
         }
     }
 }
@@ -178,6 +188,31 @@ pub struct RaftKvNode {
     /// timeout covers it.)
     replayed: BTreeSet<(NodeId, u64)>,
     stats: RaftKvStats,
+    obs: RaftKvObs,
+    /// Highest Raft term this node has observed (election detection).
+    obs_last_term: u64,
+    /// Last leader this node recorded a `LeaderChange` for.
+    obs_last_leader: Option<NodeId>,
+}
+
+/// Pre-registered observability handles (all no-ops unless
+/// [`RaftKvNode::with_obs`] installed an enabled hub).
+struct RaftKvObs {
+    hub: NodeObs,
+    elections: Counter,
+    leader_changes: Counter,
+    commit_lag: Gauge,
+}
+
+impl RaftKvObs {
+    fn from_hub(hub: NodeObs) -> Self {
+        RaftKvObs {
+            elections: hub.metrics.counter("raftkv.elections"),
+            leader_changes: hub.metrics.counter("raftkv.leader_changes"),
+            commit_lag: hub.metrics.gauge("raftkv.commit_lag"),
+            hub,
+        }
+    }
 }
 
 impl RaftKvNode {
@@ -200,7 +235,59 @@ impl RaftKvNode {
             write_log: BTreeMap::new(),
             replayed: BTreeSet::new(),
             stats: RaftKvStats::default(),
+            obs: RaftKvObs::from_hub(NodeObs::disabled()),
+            obs_last_term: 0,
+            obs_last_leader: None,
         }
+    }
+
+    /// Installs an observability hub (metrics + flight recorder). Builder
+    /// style so existing `new`/`recover` call sites stay unchanged.
+    pub fn with_obs(mut self, hub: NodeObs) -> Self {
+        self.obs = RaftKvObs::from_hub(hub);
+        self
+    }
+
+    /// This node's observability hub (disabled unless installed).
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs.hub
+    }
+
+    /// Records election / leader-change flight events and refreshes the
+    /// commit-lag gauge from the core's current state. One branch per
+    /// call when observability is disabled.
+    fn observe_core(&mut self, now: Time) {
+        if !self.obs.hub.is_enabled() {
+            return;
+        }
+        let Some(core) = self.core.as_ref() else {
+            return;
+        };
+        let term = core.term();
+        if term > self.obs_last_term {
+            self.obs_last_term = term;
+            self.obs.elections.inc();
+            self.obs
+                .hub
+                .event(now.as_nanos(), ObsEvent::Election { term });
+        }
+        let leader = if core.is_leader() {
+            Some(self.me)
+        } else {
+            self.leader_hint
+        };
+        if leader != self.obs_last_leader {
+            self.obs_last_leader = leader;
+            if let Some(l) = leader {
+                self.obs.leader_changes.inc();
+                self.obs
+                    .hub
+                    .event(now.as_nanos(), ObsEvent::LeaderChange { term, leader: l.0 });
+            }
+        }
+        self.obs
+            .commit_lag
+            .set(core.log_len().saturating_sub(core.commit_index()) as i64);
     }
 
     /// Builds a replacement node from a crashed one, recovering the state
@@ -392,6 +479,7 @@ impl Process<RaftKvMsg> for RaftKvNode {
                 }
                 self.flush_raft(out, ctx);
                 self.deliver_committed(ctx);
+                self.observe_core(ctx.now());
             }
             RaftKvMsg::Request(req) => {
                 ctx.charge(Dur::nanos(
@@ -428,6 +516,7 @@ impl Process<RaftKvMsg> for RaftKvNode {
                 self.submit(self.me, req, ctx);
             }
         }
+        self.observe_core(ctx.now());
         ctx.set_timer(self.cfg.tick_interval, TICK);
     }
 

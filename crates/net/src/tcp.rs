@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
 use bytes::Bytes;
+use canopus_obs::{Counter, EventKind as ObsEvent, Gauge, Histogram, NodeObs};
 use canopus_sim::{Context, Effect, NodeId, Payload, Process, Time, Timer, TimerId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -88,6 +89,108 @@ const MAX_COALESCE_BYTES: usize = 1 << 20;
 fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(payload);
+}
+
+/// Observability bundle for one TCP node: the node's hub plus a wall-clock
+/// origin so writer threads can stamp flight events without access to the
+/// node loop's clock. Clones share the underlying registry and recorder.
+#[derive(Clone, Default)]
+pub struct NetObs {
+    hub: NodeObs,
+    origin: Option<Instant>,
+}
+
+impl NetObs {
+    /// A disabled bundle: every recording below is a single branch.
+    pub fn disabled() -> Self {
+        NetObs::default()
+    }
+
+    /// Wraps a node hub; timestamps count from this call.
+    pub fn new(hub: NodeObs) -> Self {
+        NetObs {
+            hub,
+            origin: Some(Instant::now()),
+        }
+    }
+
+    /// The wrapped hub.
+    pub fn hub(&self) -> &NodeObs {
+        &self.hub
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.origin
+            .map(|o| o.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Per-node transport metrics, with per-(peer, kind) counter handles cached
+/// so steady-state sends and receives never take the registry lock.
+struct NodeNetMetrics {
+    obs: NetObs,
+    sent: HashMap<(u32, &'static str), (Counter, Counter)>,
+    recv: HashMap<(u32, &'static str), (Counter, Counter)>,
+    fault_drops_send: Counter,
+    fault_drops_recv: Counter,
+    flush_bytes: Histogram,
+    no_addr_drops: Counter,
+}
+
+impl NodeNetMetrics {
+    fn new(obs: NetObs) -> Self {
+        let m = &obs.hub.metrics;
+        NodeNetMetrics {
+            sent: HashMap::new(),
+            recv: HashMap::new(),
+            fault_drops_send: m.counter("net.drops.fault.send"),
+            fault_drops_recv: m.counter("net.drops.fault.recv"),
+            flush_bytes: m.histogram("net.flush_bytes"),
+            no_addr_drops: m.counter("net.drops.no_address"),
+            obs,
+        }
+    }
+
+    fn count_sent(&mut self, to: NodeId, kind: &'static str, bytes: u64) {
+        if !self.obs.hub.is_enabled() {
+            return;
+        }
+        let m = &self.obs.hub.metrics;
+        let (msgs, by) = self.sent.entry((to.0, kind)).or_insert_with(|| {
+            (
+                m.counter(&format!("net.sent.msgs.p{}.{kind}", to.0)),
+                m.counter(&format!("net.sent.bytes.p{}.{kind}", to.0)),
+            )
+        });
+        msgs.inc();
+        by.add(bytes);
+    }
+
+    fn count_recv(&mut self, from: NodeId, kind: &'static str, bytes: u64) {
+        if !self.obs.hub.is_enabled() {
+            return;
+        }
+        let m = &self.obs.hub.metrics;
+        let (msgs, by) = self.recv.entry((from.0, kind)).or_insert_with(|| {
+            (
+                m.counter(&format!("net.recv.msgs.p{}.{kind}", from.0)),
+                m.counter(&format!("net.recv.bytes.p{}.{kind}", from.0)),
+            )
+        });
+        msgs.inc();
+        by.add(bytes);
+    }
+}
+
+/// Handles a writer thread records with: flush sizes, its queue depth, and
+/// drops for peers missing from the address book.
+#[derive(Clone)]
+struct WriterObs {
+    obs: NetObs,
+    flush_bytes: Histogram,
+    queue_depth: Gauge,
+    no_addr_drops: Counter,
 }
 
 /// Static peer address book for a deployment.
@@ -160,8 +263,9 @@ impl Ord for TimerEntry {
 /// Runs one node over TCP until shutdown; returns the final process state.
 ///
 /// `listener` must already be bound; `peers` maps every destination the
-/// process will send to. Messages to unknown peers are dropped with a log
-/// line to stderr (consensus protocols treat this as loss).
+/// process will send to. Messages to unknown peers are dropped (consensus
+/// protocols treat this as loss) with a flight-recorder event and a
+/// `net.drops.no_address` count when observability is attached.
 ///
 /// Equivalent to [`run_node_with_rules`] with an empty, never-activated
 /// [`FaultRules`] table.
@@ -182,14 +286,10 @@ where
 
 /// Runs one node over TCP with a shared runtime fault table.
 ///
-/// `rules` is consulted on the send path (full verdict, including
-/// probabilistic loss) and on the receive path (deterministic cuts,
-/// isolation, and crash marks — so messages already in flight when a rule
-/// lands are still dropped). With no rules installed both checks are a
-/// single relaxed atomic load; see [`FaultRules`].
+/// Equivalent to [`run_node_obs`] with a disabled [`NetObs`] bundle.
 pub fn run_node_with_rules<M>(
     id: NodeId,
-    mut process: Box<dyn Process<M>>,
+    process: Box<dyn Process<M>>,
     listener: TcpListener,
     peers: PeerMap,
     shutdown: Receiver<()>,
@@ -199,6 +299,45 @@ pub fn run_node_with_rules<M>(
 where
     M: Wire + Payload + Send,
 {
+    run_node_obs(
+        id,
+        process,
+        listener,
+        peers,
+        shutdown,
+        seed,
+        rules,
+        NetObs::disabled(),
+    )
+}
+
+/// Runs one node over TCP with a shared runtime fault table and an
+/// observability bundle.
+///
+/// `rules` is consulted on the send path (full verdict, including
+/// probabilistic loss) and on the receive path (deterministic cuts,
+/// isolation, and crash marks — so messages already in flight when a rule
+/// lands are still dropped). With no rules installed both checks are a
+/// single relaxed atomic load; see [`FaultRules`].
+///
+/// `obs` records per-peer message/byte counts by wire kind on both paths,
+/// fault-rule drop counts, coalesced-flush sizes, and per-peer writer
+/// queue depth. A disabled bundle costs one branch per recording.
+#[allow(clippy::too_many_arguments)]
+pub fn run_node_obs<M>(
+    id: NodeId,
+    mut process: Box<dyn Process<M>>,
+    listener: TcpListener,
+    peers: PeerMap,
+    shutdown: Receiver<()>,
+    seed: u64,
+    rules: Arc<FaultRules>,
+    obs: NetObs,
+) -> Box<dyn Process<M>>
+where
+    M: Wire + Payload + Send,
+{
+    let mut metrics = NodeNetMetrics::new(obs);
     let start = Instant::now();
     let now_fn = move || Time::from_nanos(start.elapsed().as_nanos() as u64);
 
@@ -235,7 +374,7 @@ where
     let mut next_timer_id: u64 = 0;
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let mut armed: HashSet<u64> = HashSet::new();
-    let mut outbox: HashMap<NodeId, SyncSender<Bytes>> = HashMap::new();
+    let mut outbox: HashMap<NodeId, (SyncSender<Bytes>, Gauge)> = HashMap::new();
 
     // Start the process.
     {
@@ -251,6 +390,7 @@ where
             &mut outbox,
             &peers,
             &rules,
+            &mut metrics,
         );
     }
 
@@ -294,6 +434,7 @@ where
                             &mut outbox,
                             &peers,
                             &rules,
+                            &mut metrics,
                         );
                     }
                 }
@@ -313,8 +454,10 @@ where
                 // Receive-path fault check: deterministic rules only (loss
                 // was already rolled once at the sender).
                 if rules.should_drop_link(from, id) {
+                    metrics.fault_drops_recv.inc();
                     continue 'run;
                 }
+                metrics.count_recv(from, msg.kind(), msg.wire_size() as u64);
                 let mut ctx = Context::detached(now_fn(), id, &mut rng, &mut next_timer_id);
                 process.on_message(from, msg, &mut ctx);
                 let (effects, _) = ctx.into_effects();
@@ -327,6 +470,7 @@ where
                     &mut outbox,
                     &peers,
                     &rules,
+                    &mut metrics,
                 );
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -367,15 +511,17 @@ where
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_effects<M>(
     self_id: NodeId,
     effects: Vec<Effect<M>>,
     now: Time,
     timers: &mut BinaryHeap<TimerEntry>,
     armed: &mut HashSet<u64>,
-    outbox: &mut HashMap<NodeId, SyncSender<Bytes>>,
+    outbox: &mut HashMap<NodeId, (SyncSender<Bytes>, Gauge)>,
     peers: &PeerMap,
     rules: &FaultRules,
+    metrics: &mut NodeNetMetrics,
 ) where
     M: Wire + Payload + Send,
 {
@@ -385,14 +531,29 @@ fn apply_effects<M>(
                 // Send-path fault check: full verdict, including the
                 // probabilistic loss roll (exactly once per message).
                 if rules.should_drop(self_id, to) {
+                    metrics.fault_drops_send.inc();
                     continue;
                 }
-                let sender = outbox
-                    .entry(to)
-                    .or_insert_with(|| spawn_writer(self_id, to, peers.get(to)));
+                metrics.count_sent(to, msg.kind(), msg.wire_size() as u64);
+                let (sender, depth) = outbox.entry(to).or_insert_with(|| {
+                    let wobs = WriterObs {
+                        obs: metrics.obs.clone(),
+                        flush_bytes: metrics.flush_bytes.clone(),
+                        queue_depth: metrics
+                            .obs
+                            .hub
+                            .metrics
+                            .gauge(&format!("net.queue_depth.p{}", to.0)),
+                        no_addr_drops: metrics.no_addr_drops.clone(),
+                    };
+                    let depth = wobs.queue_depth.clone();
+                    (spawn_writer(self_id, to, peers.get(to), wobs), depth)
+                });
                 // Non-blocking: a slow/unreachable peer sheds load instead of
                 // stalling the protocol loop (equivalent to network loss).
-                let _ = sender.try_send(msg.to_bytes());
+                if sender.try_send(msg.to_bytes()).is_ok() {
+                    depth.add(1);
+                }
             }
             Effect::SetTimer { id, after, token } => {
                 armed.insert(id.0);
@@ -410,12 +571,29 @@ fn apply_effects<M>(
 }
 
 /// Spawns the writer thread for one peer; returns the channel feeding it.
-fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSender<Bytes> {
+fn spawn_writer(
+    self_id: NodeId,
+    to: NodeId,
+    addr: Option<SocketAddr>,
+    wobs: WriterObs,
+) -> SyncSender<Bytes> {
     let (tx, rx) = mpsc::sync_channel::<Bytes>(4096);
     std::thread::spawn(move || {
         let Some(addr) = addr else {
-            eprintln!("canopus-net: no address for {to}; dropping its traffic");
-            while rx.recv().is_ok() {}
+            // No address book entry: consensus treats this as loss, but it
+            // is almost always a deployment bug, so leave a flight-recorder
+            // event and count every message shed on this dead link.
+            wobs.obs.hub.event(
+                wobs.obs.now_nanos(),
+                ObsEvent::NetDrop {
+                    peer: to.0,
+                    reason: "no_address",
+                },
+            );
+            while rx.recv().is_ok() {
+                wobs.no_addr_drops.inc();
+                wobs.queue_depth.add(-1);
+            }
             return;
         };
         let mut backoff = StdDuration::from_millis(10);
@@ -430,7 +608,7 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
                         // Drain queued messages while unreachable (loss).
                         loop {
                             match rx.try_recv() {
-                                Ok(_) => {}
+                                Ok(_) => wobs.queue_depth.add(-1),
                                 Err(mpsc::TryRecvError::Empty) => break,
                                 Err(mpsc::TryRecvError::Disconnected) => return,
                             }
@@ -451,12 +629,16 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
                 let Ok(first) = rx.recv() else {
                     return; // channel closed: node shut down
                 };
+                wobs.queue_depth.add(-1);
                 batch.clear();
                 append_frame(&mut batch, &first);
                 let mut closing = false;
                 while batch.len() < MAX_COALESCE_BYTES {
                     match rx.try_recv() {
-                        Ok(frame) => append_frame(&mut batch, &frame),
+                        Ok(frame) => {
+                            wobs.queue_depth.add(-1);
+                            append_frame(&mut batch, &frame);
+                        }
                         Err(mpsc::TryRecvError::Empty) => break,
                         Err(mpsc::TryRecvError::Disconnected) => {
                             closing = true;
@@ -464,6 +646,7 @@ fn spawn_writer(self_id: NodeId, to: NodeId, addr: Option<SocketAddr>) -> SyncSe
                         }
                     }
                 }
+                wobs.flush_bytes.observe(batch.len() as u64);
                 if stream.write_all(&batch).is_err() {
                     continue 'reconnect;
                 }
@@ -490,10 +673,35 @@ pub fn spawn_node_with_rules<M>(
 where
     M: Wire + Payload + Send,
 {
+    spawn_node_obs(
+        id,
+        process,
+        listener,
+        peers,
+        seed,
+        rules,
+        NetObs::disabled(),
+    )
+}
+
+/// [`spawn_node_with_rules`] with an observability bundle attached to the
+/// node's transport.
+pub fn spawn_node_obs<M>(
+    id: NodeId,
+    process: Box<dyn Process<M>>,
+    listener: TcpListener,
+    peers: PeerMap,
+    seed: u64,
+    rules: Arc<FaultRules>,
+    obs: NetObs,
+) -> TcpNodeHandle<M>
+where
+    M: Wire + Payload + Send,
+{
     let addr = listener.local_addr().expect("local addr");
     let (tx, rx) = mpsc::channel();
     let join = std::thread::spawn(move || {
-        run_node_with_rules(id, process, listener, peers, rx, seed, rules)
+        run_node_obs(id, process, listener, peers, rx, seed, rules, obs)
     });
     TcpNodeHandle {
         id,
@@ -529,6 +737,23 @@ pub fn spawn_local_cluster_with_rules<M>(
 where
     M: Wire + Payload + Send,
 {
+    let obs = processes.iter().map(|_| NetObs::disabled()).collect();
+    spawn_local_cluster_obs(processes, seed, rules, obs)
+}
+
+/// [`spawn_local_cluster_with_rules`] with one observability bundle per
+/// node (`obs[i]` is attached to node `i`'s transport). Panics unless
+/// `obs.len() == processes.len()`.
+pub fn spawn_local_cluster_obs<M>(
+    processes: Vec<Box<dyn Process<M>>>,
+    seed: u64,
+    rules: Arc<FaultRules>,
+    obs: Vec<NetObs>,
+) -> Vec<TcpNodeHandle<M>>
+where
+    M: Wire + Payload + Send,
+{
+    assert_eq!(obs.len(), processes.len(), "one NetObs per process");
     let mut listeners = Vec::new();
     let mut peers = PeerMap::new();
     for (i, _) in processes.iter().enumerate() {
@@ -538,15 +763,18 @@ where
         listeners.push((listener, addr));
     }
     let mut handles = Vec::new();
-    for (i, (process, (listener, _))) in processes.into_iter().zip(listeners).enumerate() {
+    for (i, ((process, obs), (listener, _))) in
+        processes.into_iter().zip(obs).zip(listeners).enumerate()
+    {
         let id = NodeId(i as u32);
-        handles.push(spawn_node_with_rules(
+        handles.push(spawn_node_obs(
             id,
             process,
             listener,
             peers.clone(),
             seed.wrapping_add(i as u64),
             Arc::clone(&rules),
+            obs,
         ));
     }
     handles

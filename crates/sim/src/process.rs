@@ -64,6 +64,14 @@ pub struct Timer {
 pub trait Payload: fmt::Debug + 'static {
     /// Encoded size of this message in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Short static label for this message's variant (e.g. `"raft"`,
+    /// `"propose"`), used by the observability layer to account messages
+    /// and bytes by type. The default lumps everything under `"msg"`;
+    /// protocol enums override it per variant.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// One effect recorded by a process during a callback.

@@ -18,8 +18,9 @@
 //! not work items), but their charges still extend `busy_until`.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
+use canopus_obs::{Counter, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -98,6 +99,30 @@ pub enum TraceEvent<'a, M> {
 /// Tracer callback type.
 pub type Tracer<M> = Box<dyn FnMut(&TraceEvent<'_, M>)>;
 
+/// Per-message-type network accounting, attached to a [`Simulation`] via
+/// [`Simulation::set_net_metrics`]. The kernel is single-threaded, so the
+/// counter handles are cached in a plain map keyed by the `'static`
+/// labels from [`Payload::kind`] — the steady-state cost per send is two
+/// hash lookups and two relaxed adds, and a simulation without metrics
+/// pays exactly one branch (the `Option` test in `route_send`).
+struct NetMetrics {
+    registry: Registry,
+    by_kind: HashMap<&'static str, (Counter, Counter)>,
+}
+
+impl NetMetrics {
+    fn count(&mut self, kind: &'static str, bytes: u64) {
+        let (msgs, byt) = self.by_kind.entry(kind).or_insert_with(|| {
+            (
+                self.registry.counter(&format!("net.sent.msgs.{kind}")),
+                self.registry.counter(&format!("net.sent.bytes.{kind}")),
+            )
+        });
+        msgs.inc();
+        byt.add(bytes);
+    }
+}
+
 enum EventKind<M> {
     Deliver {
         to: NodeId,
@@ -164,6 +189,9 @@ pub struct Simulation<M: Payload, F: Fabric<M>> {
     /// Running FNV-1a over the event schedule when enabled (see
     /// [`Simulation::enable_trace_hash`]); `None` = disabled.
     trace_hash: Option<u64>,
+    /// Per-kind message/byte counters (see [`Simulation::set_net_metrics`]);
+    /// `None` = disabled, costing one branch per send.
+    net_metrics: Option<NetMetrics>,
 }
 
 /// FNV-1a offset basis / prime, shared by the trace-hash helper.
@@ -193,6 +221,22 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
             events_processed: 0,
             tracer: None,
             trace_hash: None,
+            net_metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry that accumulates per-message-type
+    /// send counters (`net.sent.msgs.<kind>` / `net.sent.bytes.<kind>`,
+    /// labels from [`Payload::kind`]). Passing a disabled registry is
+    /// equivalent to never calling this. Metrics are observation-only:
+    /// they never touch the RNG, the event queue, or the trace hash, so
+    /// enabling them cannot change an execution.
+    pub fn set_net_metrics(&mut self, registry: Registry) {
+        if registry.is_enabled() {
+            self.net_metrics = Some(NetMetrics {
+                registry,
+                by_kind: HashMap::new(),
+            });
         }
     }
 
@@ -544,6 +588,9 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
     fn route_send(&mut self, from: NodeId, to: NodeId, msg: M, now: Time) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += msg.wire_size() as u64;
+        if let Some(nm) = self.net_metrics.as_mut() {
+            nm.count(msg.kind(), msg.wire_size() as u64);
+        }
         if to == EXTERNAL {
             // Replies to externally injected messages sink silently.
             return;

@@ -140,6 +140,23 @@ impl Payload for ZabMsg {
             ZabMsg::ResyncRequest => 1,
         }
     }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            ZabMsg::Request(_) => "request",
+            ZabMsg::Reply(_) => "reply",
+            ZabMsg::Forward(_) => "forward",
+            ZabMsg::Propose { .. } => "propose",
+            ZabMsg::Ack { .. } => "ack",
+            ZabMsg::Commit { .. } => "commit",
+            ZabMsg::Inform { .. } => "inform",
+            ZabMsg::Ping { .. } => "ping",
+            ZabMsg::Election { .. } => "election",
+            ZabMsg::NewLeader { .. } => "new_leader",
+            ZabMsg::FollowerAck { .. } => "follower_ack",
+            ZabMsg::ResyncRequest => "resync_request",
+        }
+    }
 }
 
 impl Wire for ZabMsg {

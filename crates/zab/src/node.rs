@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use canopus_kv::{ClientReply, ClientRequest, CostModel, KvStore, Op, OpResult, TimedOp};
+use canopus_obs::{Counter, EventKind as ObsEvent, Gauge, NodeObs};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
 
 use crate::msg::{Txn, ZabMsg, Zxid};
@@ -82,6 +83,31 @@ pub struct ZabStats {
     pub elections: u64,
 }
 
+/// Pre-registered observability handles (no-ops unless
+/// [`ZabNode::with_obs`] installed an enabled hub).
+struct ZabObs {
+    hub: NodeObs,
+    elections: Counter,
+    leader_changes: Counter,
+    resyncs_served: Counter,
+    resyncs_requested: Counter,
+    commit_lag: Gauge,
+}
+
+impl ZabObs {
+    fn from_hub(hub: NodeObs) -> Self {
+        let m = &hub.metrics;
+        ZabObs {
+            elections: m.counter("zab.elections"),
+            leader_changes: m.counter("zab.leader_changes"),
+            resyncs_served: m.counter("zab.resyncs_served"),
+            resyncs_requested: m.counter("zab.resyncs_requested"),
+            commit_lag: m.gauge("zab.commit_lag"),
+            hub,
+        }
+    }
+}
+
 /// One node of the ZooKeeper model.
 pub struct ZabNode {
     cfg: ZabConfig,
@@ -106,6 +132,7 @@ pub struct ZabNode {
     next_ping: Time,
     store: KvStore,
     stats: ZabStats,
+    obs: ZabObs,
     forward_queue: VecDeque<Txn>,
     /// When we last asked the leader for a full resync — throttles the
     /// request so a burst of gap-detected messages costs one history
@@ -147,9 +174,23 @@ impl ZabNode {
             next_ping: Time::ZERO,
             store: KvStore::new(),
             stats: ZabStats::default(),
+            obs: ZabObs::from_hub(NodeObs::disabled()),
             forward_queue: VecDeque::new(),
             resync_requested_at: None,
         }
+    }
+
+    /// Installs an observability hub (metrics + flight recorder). Builder
+    /// style; without it the node carries a disabled hub costing one
+    /// branch per update.
+    pub fn with_obs(mut self, hub: NodeObs) -> Self {
+        self.obs = ZabObs::from_hub(hub);
+        self
+    }
+
+    /// This node's observability hub (disabled unless installed).
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs.hub
     }
 
     /// Creates a node that rejoins after a crash with no durable state. It
@@ -408,6 +449,13 @@ impl ZabNode {
     fn start_election(&mut self, ctx: &mut Context<'_, ZabMsg>) {
         self.stats.elections += 1;
         let new_epoch = self.epoch + 1;
+        self.obs.elections.inc();
+        self.obs.hub.event(
+            ctx.now().as_nanos(),
+            ObsEvent::Election {
+                term: new_epoch as u64,
+            },
+        );
         self.election_votes.clear();
         self.election_votes.insert(self.me, self.last_zxid());
         self.election_deadline = Some(ctx.now() + self.cfg.election_timeout);
@@ -445,6 +493,14 @@ impl ZabNode {
             self.role = ZabRole::Leader;
             self.leader = self.me;
             self.next_counter = 0;
+            self.obs.leader_changes.inc();
+            self.obs.hub.event(
+                ctx.now().as_nanos(),
+                ObsEvent::LeaderChange {
+                    term: self.epoch as u64,
+                    leader: self.me.0,
+                },
+            );
             // Commit everything we have logged (we hold the highest zxid
             // among a quorum; Zab's synchronization makes it durable).
             self.committed = self.last_zxid();
@@ -489,6 +545,7 @@ impl ZabNode {
         };
         if due {
             self.resync_requested_at = Some(ctx.now());
+            self.obs.resyncs_requested.inc();
             ctx.send(from, ZabMsg::ResyncRequest);
         }
     }
@@ -526,6 +583,23 @@ impl ZabNode {
         if epoch <= self.epoch && from != self.leader {
             return; // stale
         }
+        if from != self.leader || epoch != self.epoch {
+            self.obs.leader_changes.inc();
+            self.obs.hub.event(
+                ctx.now().as_nanos(),
+                ObsEvent::LeaderChange {
+                    term: epoch as u64,
+                    leader: from.0,
+                },
+            );
+        }
+        self.obs.hub.event(
+            ctx.now().as_nanos(),
+            ObsEvent::Resync {
+                peer: from.0,
+                entries: history.len() as u64,
+            },
+        );
         self.epoch = epoch;
         self.leader = from;
         self.role = if self.participants().contains(&self.me) {
@@ -673,6 +747,14 @@ impl Process<ZabMsg> for ZabNode {
             ZabMsg::FollowerAck { .. } => {}
             ZabMsg::ResyncRequest => {
                 if self.role == ZabRole::Leader {
+                    self.obs.resyncs_served.inc();
+                    self.obs.hub.event(
+                        ctx.now().as_nanos(),
+                        ObsEvent::Resync {
+                            peer: from.0,
+                            entries: self.log.len() as u64,
+                        },
+                    );
                     ctx.send(
                         from,
                         ZabMsg::NewLeader {
@@ -715,6 +797,17 @@ impl Process<ZabMsg> for ZabNode {
                 }
             }
             ZabRole::Observer => {}
+        }
+        if self.obs.hub.is_enabled() {
+            // Logged-but-uncommitted transactions, the ZAB analogue of
+            // Raft's commit index lag.
+            let lag = self
+                .log
+                .iter()
+                .rev()
+                .take_while(|(z, _)| *z > self.committed)
+                .count();
+            self.obs.commit_lag.set(lag as i64);
         }
         ctx.set_timer(self.cfg.tick_interval, TICK);
     }

@@ -7,24 +7,35 @@
 //! and a read through real sockets and receives real replies, and the
 //! nodes' commit digests are compared at shutdown.
 //!
-//! Run with: `cargo run --example live_cluster`
+//! Run with: `cargo run --example live_cluster [-- --metrics]`
+//!
+//! With `--metrics`, every node runs with an enabled observability hub
+//! and the per-node registry (consensus counters plus per-peer wire
+//! traffic) is printed as text exposition at exit.
 
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use canopus::{CanopusMsg, CanopusNode, EmulationTable, LotShape};
 use canopus_harness::live_canopus_config;
 use canopus_kv::{ClientRequest, Op, OpResult};
-use canopus_net::tcp::{read_frame, run_node, write_frame, PeerMap};
+use canopus_net::tcp::{read_frame, run_node_obs, write_frame, NetObs, PeerMap};
 use canopus_net::wire::Wire;
+use canopus_net::FaultRules;
+use canopus_obs::NodeObs;
 use canopus_sim::NodeId;
 
 const NODES: u32 = 6;
 const CLIENT_ID: NodeId = NodeId(6);
 
+/// Flight-ring capacity per node under `--metrics`.
+const FLIGHT_CAP: usize = 64;
+
 fn main() {
+    let show_metrics = std::env::args().any(|a| a == "--metrics");
     let table = EmulationTable::new(
         LotShape::flat(2),
         vec![
@@ -54,15 +65,32 @@ fn main() {
     println!("spawning {NODES} Canopus nodes on loopback TCP ...");
     let mut handles = Vec::new();
     let mut shutdowns = Vec::new();
+    let mut hubs = Vec::new();
     for (i, listener) in listeners.into_iter().enumerate() {
         let id = NodeId(i as u32);
         println!("  node {id} on {}", peers.get(id).unwrap());
-        let node = CanopusNode::new(id, table.clone(), cfg.clone(), 42);
+        let hub = if show_metrics {
+            NodeObs::enabled(id.0, FLIGHT_CAP)
+        } else {
+            NodeObs::disabled()
+        };
+        hubs.push(hub.clone());
+        let node = CanopusNode::new(id, table.clone(), cfg.clone(), 42).with_obs(hub.clone());
         let (tx, rx) = mpsc::channel();
         shutdowns.push(tx);
         let peer_map = peers.clone();
+        let seed = 42 + i as u64;
         handles.push(std::thread::spawn(move || {
-            run_node::<CanopusMsg>(id, Box::new(node), listener, peer_map, rx, 42 + i as u64)
+            run_node_obs::<CanopusMsg>(
+                id,
+                Box::new(node),
+                listener,
+                peer_map,
+                rx,
+                seed,
+                Arc::new(FaultRules::new(seed)),
+                NetObs::new(hub),
+            )
         }));
     }
 
@@ -171,5 +199,11 @@ fn main() {
         "commit digests diverged across the live cluster!"
     );
     assert_eq!(write_acks, WRITES, "all writes must be acknowledged");
+    if show_metrics {
+        for (i, hub) in hubs.iter().enumerate() {
+            println!("\n--- metrics: node {i} ---");
+            print!("{}", hub.metrics.snapshot().to_text());
+        }
+    }
     println!("\nLive TCP cluster reached agreement. ✓");
 }

@@ -9,15 +9,18 @@
 //! transport's shared `FaultRules` table.
 //!
 //! ```text
-//! cargo run --release --example live_nemesis
+//! cargo run --release --example live_nemesis [-- --metrics]
 //! ```
 //!
-//! Exits non-zero if any safety or convergence check fails.
+//! With `--metrics`, prints the text exposition of every node's metrics
+//! registry (consensus counters, per-peer wire traffic, fault drops) at
+//! exit. Exits non-zero if any safety or convergence check fails.
 
 use canopus_harness::scenarios::superleaf_partition;
 use canopus_harness::{live_chaos_canopus, live_history_config, live_timeline, live_topology};
 
 fn main() {
+    let show_metrics = std::env::args().any(|a| a == "--metrics");
     let topo = live_topology();
     let t = live_timeline();
     let scenario = superleaf_partition(&topo, &t);
@@ -42,6 +45,12 @@ fn main() {
 
     println!("shutting down and running the chaos verdict ...");
     let outcome = cluster.shutdown();
+    if show_metrics {
+        for (id, snap) in outcome.metrics_snapshots() {
+            println!("--- metrics: node {id} ---");
+            print!("{}", snap.to_text());
+        }
+    }
     let report = outcome.verdict(t.converge_after(), &(scenario.exempt)("canopus"));
     println!(
         "verdict [{}]: {} ops ok, {} timed out, {} reads validity-checked",

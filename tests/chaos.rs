@@ -23,9 +23,9 @@ use canopus_harness::scenarios::{
     superleaf_partition as superleaf_partition_in,
 };
 use canopus_harness::{
-    chaos_canopus, chaos_canopus_batched, chaos_epaxos, chaos_raftkv, chaos_verdict, chaos_zab,
-    ChaosProtocol, ChaosReport, ChaosScenario, ChaosTimeline, ChaosTopology, Cluster,
-    DeploymentSpec, HistoryConfig,
+    chaos_canopus, chaos_canopus_batched, chaos_canopus_with_obs, chaos_epaxos, chaos_raftkv,
+    chaos_verdict, chaos_zab, ChaosProtocol, ChaosReport, ChaosScenario, ChaosTimeline,
+    ChaosTopology, Cluster, ClusterObs, DeploymentSpec, HistoryConfig,
 };
 
 // ---------------------------------------------------------------------
@@ -114,41 +114,68 @@ fn run_one<M: ChaosProtocol>(
     build: fn(&DeploymentSpec, &HistoryConfig, u64) -> Cluster<M>,
     scenario: &ChaosScenario,
     seed: u64,
-) -> ChaosReport {
+) -> (ChaosReport, Cluster<M>) {
     let mut cluster = build(&spec(), &history_config(), seed);
     cluster.apply_plan(&scenario.plan, timeline().run_for);
-    chaos_verdict(
+    let report = chaos_verdict(
         &cluster,
         timeline().converge_after(),
         &(scenario.exempt)(M::NAME),
-    )
+    );
+    (report, cluster)
 }
+
+/// Events per node in the failure dump — the forensic tail, not the
+/// whole ring.
+const DUMP_EVENTS: usize = 40;
 
 fn sweep<M: ChaosProtocol>(
     build: fn(&DeploymentSpec, &HistoryConfig, u64) -> Cluster<M>,
     scenario: ChaosScenario,
 ) {
     for seed in seeds() {
-        let report = run_one(build, &scenario, seed);
+        let (report, cluster) = run_one(build, &scenario, seed);
         assert!(
             report.ok(),
-            "{} / {} / seed {:#x}: {} ok, {} timed out, violations: {:#?}",
+            "{} / {} / seed {:#x}: {} ok, {} timed out, violations: {:#?}
+{}",
             M::NAME,
             scenario.name,
             seed,
             report.ops_ok,
             report.ops_timed_out,
-            report.violations
+            report.violations,
+            cluster.flight_dump(DUMP_EVENTS)
         );
         assert!(
             report.ops_ok > 50,
-            "{} / {} / seed {:#x}: suspiciously little progress ({} ops)",
+            "{} / {} / seed {:#x}: suspiciously little progress ({} ops)
+{}",
             M::NAME,
             scenario.name,
             seed,
-            report.ops_ok
+            report.ops_ok,
+            cluster.flight_dump(DUMP_EVENTS)
         );
     }
+}
+
+/// A deliberately failing verdict bar, demonstrating the failure artifact:
+/// the panic message carries every node's flight-recorder tail, so chaos
+/// forensics start from structured consensus events instead of a bare
+/// assert. The `expected` string is `canopus_obs::DUMP_HEADER`.
+#[test]
+#[should_panic(expected = "flight recorder dump")]
+fn broken_verdict_dumps_flight_recorders() {
+    let scenario = superleaf_partition();
+    let (report, cluster) = run_one(chaos_canopus, &scenario, 0xBAD5EED);
+    assert!(
+        report.ops_ok == 0, // deliberately impossible: healthy runs commit ops
+        "deliberately broken bar ({} ops committed)
+{}",
+        report.ops_ok,
+        cluster.flight_dump(DUMP_EVENTS)
+    );
 }
 
 macro_rules! chaos_matrix {
@@ -250,6 +277,32 @@ fn determinism_same_plan_same_seed_identical_traces() {
     // A different seed must explore a different schedule.
     let c = run(8);
     assert_ne!(a.0, c.0, "different seeds should differ");
+}
+
+/// Observability is observation-only: a run with registries and flight
+/// recorders enabled must produce byte-identical executions (same kernel
+/// trace hash, same event count) as one with them disabled. This is the
+/// regression gate for the "one branch when disabled, zero interference
+/// when enabled" contract.
+#[test]
+fn determinism_obs_enabled_matches_disabled() {
+    let run = |obs: ClusterObs| {
+        let scenario = superleaf_partition();
+        let mut cluster = chaos_canopus_with_obs(&spec(), &history_config(), 11, obs);
+        cluster.sim.enable_trace_hash();
+        let applied = cluster.apply_plan(&scenario.plan, timeline().run_for);
+        (
+            cluster.sim.trace_hash().expect("enabled"),
+            format!("{applied:?}"),
+            cluster.sim.events_processed(),
+        )
+    };
+    let observed = run(ClusterObs::on(256));
+    let bare = run(ClusterObs::off());
+    assert_eq!(
+        observed, bare,
+        "enabling the obs layer changed the execution"
+    );
 }
 
 /// The same determinism bar holds for a crash/restart plan on the Raft KV

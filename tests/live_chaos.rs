@@ -69,21 +69,25 @@ fn sweep<M: ChaosProtocol + Wire + Send>(
         let report = outcome.verdict(t.converge_after(), &(scenario.exempt)(M::NAME));
         assert!(
             report.ok(),
-            "{} / {} / seed {:#x}: {} ok, {} timed out, violations: {:#?}",
+            "{} / {} / seed {:#x}: {} ok, {} timed out, violations: {:#?}
+{}",
             M::NAME,
             scenario.name,
             seed,
             report.ops_ok,
             report.ops_timed_out,
-            report.violations
+            report.violations,
+            outcome.flight_dump(40)
         );
         assert!(
             report.ops_ok > 20,
-            "{} / {} / seed {:#x}: suspiciously little progress ({} ops)",
+            "{} / {} / seed {:#x}: suspiciously little progress ({} ops)
+{}",
             M::NAME,
             scenario.name,
             seed,
-            report.ops_ok
+            report.ops_ok,
+            outcome.flight_dump(40)
         );
     }
 }
