@@ -281,6 +281,7 @@ where
             op_bytes: 16,
             warmup: load.warmup,
             max_batch: load.client_max_batch,
+            ..OpenLoopConfig::default()
         };
         Box::new(OpenLoopClient::<M>::new(
             target,

@@ -84,6 +84,12 @@ pub struct HistoryConfig {
     pub probe_at: Time,
     /// Stop issuing operations at this instant (quiesce before verdict).
     pub stop_at: Time,
+    /// Offset added to every op id this client assigns (ids are
+    /// `base+1, base+2, ...`). Zero — the default — preserves the classic
+    /// dense 1-based ids. A client multiplexer ([`crate::mux::ClientMux`])
+    /// gives each hosted session a disjoint base so replies arriving on
+    /// the shared transport can be routed back by op id alone.
+    pub op_id_base: u64,
 }
 
 impl Default for HistoryConfig {
@@ -95,6 +101,7 @@ impl Default for HistoryConfig {
             keys_per_client: 2,
             probe_at: Time::ZERO + Dur::millis(1100),
             stop_at: Time::ZERO + Dur::millis(1800),
+            op_id_base: 0,
         }
     }
 }
@@ -102,7 +109,8 @@ impl Default for HistoryConfig {
 /// One recorded operation.
 #[derive(Clone, Debug)]
 pub struct HistoryOp {
-    /// Client-assigned id (1-based, dense).
+    /// Client-assigned id (dense from `op_id_base + 1`; 1-based with the
+    /// default base of zero).
     pub op_id: u64,
     /// Key operated on.
     pub key: Key,
@@ -179,7 +187,7 @@ impl<M: ProtocolMsg> HistoryClient<M> {
     fn issue(&mut self, ctx: &mut Context<'_, M>) {
         let c = self.counter;
         self.counter += 1;
-        let op_id = c + 1;
+        let op_id = self.cfg.op_id_base + c + 1;
         let j = c % self.cfg.keys_per_client;
         let probing = ctx.now() >= self.cfg.probe_at;
         let (key, is_write) = if probing {
@@ -266,7 +274,11 @@ impl<M: ProtocolMsg + 'static> Process<M> for HistoryClient<M> {
 
     fn on_message(&mut self, _from: NodeId, msg: M, ctx: &mut Context<'_, M>) {
         let Some(reply) = msg.reply() else { return };
-        let Some(idx) = reply.op_id.checked_sub(1).map(|i| i as usize) else {
+        let Some(idx) = reply
+            .op_id
+            .checked_sub(self.cfg.op_id_base + 1)
+            .map(|i| i as usize)
+        else {
             return;
         };
         let Some(op) = self.ops.get_mut(idx) else {

@@ -12,6 +12,7 @@
 pub mod cluster;
 pub mod history;
 pub mod live;
+pub mod mux;
 pub mod raftkv;
 pub mod run;
 pub mod scenarios;
@@ -31,10 +32,11 @@ pub use history::{
 };
 pub use live::{
     live_canopus_config, live_chaos_canopus, live_chaos_canopus_batched, live_chaos_raftkv,
-    live_chaos_zab, live_history_config, live_raft_config, live_raftkv_config, live_timeline,
-    live_topology, live_zab_config, AttachObs, LiveCluster, LiveOutcome, LIVE_FLIGHT_CAP,
-    LIVE_TIME_UNIT,
+    live_chaos_zab, live_history_config, live_raft_config, live_raftkv_config, live_time_unit,
+    live_timeline, live_topology, live_zab_config, AttachObs, LiveCluster, LiveOutcome,
+    LIVE_FLIGHT_CAP, LIVE_TIME_UNIT,
 };
+pub use mux::{session_op_base, ClientMux};
 pub use raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode, RaftKvStats};
 pub use run::{
     deterministic_check, find_max_throughput, latency_at_70pct, run_canopus, run_epaxos, run_zab,

@@ -1,8 +1,9 @@
 //! Live-cluster chaos: the nemesis engine over real TCP sockets.
 //!
-//! [`LiveCluster`] spawns a protocol deployment plus one
-//! [`HistoryClient`] per node on the thread-based TCP transport
-//! (`canopus_net::tcp`), every loop sharing one [`FaultRules`] table.
+//! [`LiveCluster`] spawns a protocol deployment on the reactor-backed TCP
+//! transport (`canopus_net::tcp`), plus one [`HistoryClient`] per node —
+//! all of them multiplexed onto a single extra transport node by a
+//! [`ClientMux`] — every loop sharing one [`FaultRules`] table.
 //! [`LiveCluster::run_plan`] then replays the *same* [`FaultPlan`]s the
 //! simulator suite uses, on the wall clock:
 //!
@@ -29,12 +30,13 @@
 //!
 //! # Timing
 //!
-//! All real-time-sensitive timeouts derive from one constant,
-//! [`LIVE_TIME_UNIT`]: the simulator's microsecond-scale defaults assume
-//! a deterministic scheduler, and on a real OS a descheduled thread
-//! would trigger false failovers (PR 1 learned this with
-//! `examples/live_cluster.rs`; this module centralizes the relaxed
-//! values instead of scattering magic numbers).
+//! All real-time-sensitive timeouts derive from one value,
+//! [`live_time_unit`] (default [`LIVE_TIME_UNIT`], overridable with the
+//! `LIVE_TIME_UNIT_MS` environment variable): the simulator's
+//! microsecond-scale defaults assume a deterministic scheduler, and on a
+//! real OS a descheduled thread would trigger false failovers (PR 1
+//! learned this with `examples/live_cluster.rs`; this module centralizes
+//! the relaxed values instead of scattering magic numbers).
 //!
 //! # Canopus crash scenarios
 //!
@@ -51,7 +53,7 @@
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use canopus::{CanopusConfig, CanopusMsg, CanopusNode, CycleTrigger, EmulationTable, LotShape};
@@ -67,6 +69,7 @@ use crate::cluster::RestartFactory;
 use crate::history::{
     chaos_verdict_parts, ChaosProtocol, ChaosReport, ClientHistory, HistoryClient, HistoryConfig,
 };
+use crate::mux::ClientMux;
 use crate::raftkv::{RaftKvConfig, RaftKvMsg, RaftKvNode};
 use crate::scenarios::{ChaosTimeline, ChaosTopology};
 
@@ -79,18 +82,39 @@ pub const LIVE_FLIGHT_CAP: usize = 256;
 /// bare processes. Each live builder supplies the protocol's downcast.
 pub type AttachObs<M> = Box<dyn Fn(Box<dyn Process<M>>, NodeObs) -> Box<dyn Process<M>>>;
 
-/// One real-time "tick" for live clusters. Every live election, failure,
-/// and fetch timeout is a multiple of this — change it here to retune the
-/// whole live stack (e.g. for slow CI machines).
+/// The default real-time "tick" for live clusters. Every live election,
+/// failure, and fetch timeout is a multiple of the unit; runs read it via
+/// [`live_time_unit`], which allows an environment override.
 pub const LIVE_TIME_UNIT: Dur = Dur::millis(50);
+
+/// One real-time "tick" for live clusters: [`LIVE_TIME_UNIT`] unless the
+/// `LIVE_TIME_UNIT_MS` environment variable names a positive whole number
+/// of milliseconds — the retune knob for slow or oversubscribed CI
+/// machines (e.g. `LIVE_TIME_UNIT_MS=100` doubles every live timeout).
+/// Read once; the first call pins the unit for the process lifetime so a
+/// cluster can never see two different units.
+pub fn live_time_unit() -> Dur {
+    static UNIT: OnceLock<Dur> = OnceLock::new();
+    *UNIT.get_or_init(|| match std::env::var("LIVE_TIME_UNIT_MS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Dur::millis(ms),
+            _ => {
+                eprintln!("ignoring invalid LIVE_TIME_UNIT_MS={raw:?} (want a positive integer)");
+                LIVE_TIME_UNIT
+            }
+        },
+        Err(_) => LIVE_TIME_UNIT,
+    })
+}
 
 /// Raft timing for live sockets: 1-unit heartbeats, 6–12-unit elections
 /// (the values PR 1 validated under concurrent stress on loaded hosts).
 pub fn live_raft_config() -> RaftConfig {
+    let unit = live_time_unit();
     RaftConfig {
-        heartbeat_interval: LIVE_TIME_UNIT,
-        election_timeout_min: LIVE_TIME_UNIT * 6,
-        election_timeout_max: LIVE_TIME_UNIT * 12,
+        heartbeat_interval: unit,
+        election_timeout_min: unit * 6,
+        election_timeout_max: unit * 12,
     }
 }
 
@@ -98,11 +122,12 @@ pub fn live_raft_config() -> RaftConfig {
 /// fetch retries, and a 40-unit (2 s) failure detector so OS scheduling
 /// hiccups never look like node failures.
 pub fn live_canopus_config() -> CanopusConfig {
+    let unit = live_time_unit();
     CanopusConfig {
         trigger: CycleTrigger::OnCommit,
-        fetch_timeout: LIVE_TIME_UNIT * 4,
-        failure_timeout: LIVE_TIME_UNIT * 40,
-        tick_interval: LIVE_TIME_UNIT / 5,
+        fetch_timeout: unit * 4,
+        failure_timeout: unit * 40,
+        tick_interval: unit / 5,
         raft: live_raft_config(),
         record_log: false,
         ..CanopusConfig::default()
@@ -111,20 +136,22 @@ pub fn live_canopus_config() -> CanopusConfig {
 
 /// ZAB configuration for live sockets (8-unit election silence).
 pub fn live_zab_config(participants: usize) -> ZabConfig {
+    let unit = live_time_unit();
     ZabConfig {
         participants,
-        heartbeat: LIVE_TIME_UNIT,
-        election_timeout: LIVE_TIME_UNIT * 8,
-        tick_interval: LIVE_TIME_UNIT / 5,
+        heartbeat: unit,
+        election_timeout: unit * 8,
+        tick_interval: unit / 5,
         ..ZabConfig::default()
     }
 }
 
 /// Raft KV configuration for live sockets.
 pub fn live_raftkv_config() -> RaftKvConfig {
+    let unit = live_time_unit();
     RaftKvConfig {
         raft: live_raft_config(),
-        tick_interval: LIVE_TIME_UNIT / 5,
+        tick_interval: unit / 5,
         ..RaftKvConfig::default()
     }
 }
@@ -133,12 +160,13 @@ pub fn live_raftkv_config() -> RaftKvConfig {
 /// 6 units, heal at 24, convergence probes from 30, clients stop at 40,
 /// run ends at 45 (2.25 s per run with the default unit).
 pub fn live_timeline() -> ChaosTimeline {
+    let unit = live_time_unit();
     ChaosTimeline {
-        fault_at: LIVE_TIME_UNIT * 6,
-        heal_at: LIVE_TIME_UNIT * 24,
-        probe_at: LIVE_TIME_UNIT * 30,
-        stop_at: LIVE_TIME_UNIT * 40,
-        run_for: LIVE_TIME_UNIT * 45,
+        fault_at: unit * 6,
+        heal_at: unit * 24,
+        probe_at: unit * 30,
+        stop_at: unit * 40,
+        run_for: unit * 45,
     }
 }
 
@@ -153,16 +181,17 @@ pub fn live_topology() -> ChaosTopology {
 }
 
 /// History-client parameters matched to [`live_timeline`] — like every
-/// other live timeout they derive from [`LIVE_TIME_UNIT`], so raising the
+/// other live timeout they derive from [`live_time_unit`], so raising the
 /// unit retunes the clients along with the protocols (at the default
 /// 50 ms unit: 150 ms op timeout, 6.25 ms gap, 3.125 ms tick — the same
 /// scale as the simulator suite's 150/6/3 ms).
 pub fn live_history_config() -> HistoryConfig {
+    let unit = live_time_unit();
     let t = live_timeline();
     HistoryConfig {
-        op_timeout: LIVE_TIME_UNIT * 3,
-        gap: LIVE_TIME_UNIT / 8,
-        tick: LIVE_TIME_UNIT / 16,
+        op_timeout: unit * 3,
+        gap: unit / 8,
+        tick: unit / 16,
         probe_at: Time::ZERO + t.probe_at,
         stop_at: Time::ZERO + t.stop_at,
         ..HistoryConfig::default()
@@ -185,7 +214,9 @@ pub struct LiveCluster<M: ChaosProtocol + Wire + Send> {
     rules: Arc<FaultRules>,
     peers: PeerMap,
     nodes: Vec<LiveSlot<M>>,
-    clients: Vec<LiveSlot<M>>,
+    /// The single transport node hosting every history client (sessions
+    /// keep their classic virtual ids `n..2n` inside the [`ClientMux`]).
+    mux: LiveSlot<M>,
     /// Final states of currently-crashed nodes (fed to the restart
     /// factory, mirroring `Simulation::take_crashed`).
     down: BTreeMap<NodeId, Box<dyn Process<M>>>,
@@ -198,10 +229,12 @@ pub struct LiveCluster<M: ChaosProtocol + Wire + Send> {
 }
 
 impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
-    /// Binds `n` protocol nodes and `n` clients (ids `n..2n`) on loopback
+    /// Binds `n` protocol nodes plus one client-mux node on loopback
     /// ephemeral ports and spawns every loop. `make_node(id)` builds the
-    /// protocol processes; clients are [`HistoryClient`]s targeting their
-    /// co-indexed node.
+    /// protocol processes; the mux hosts `n` [`HistoryClient`] sessions
+    /// (virtual ids `n..2n`, each targeting its co-indexed node) behind a
+    /// single listener — the peer map points every virtual client id at
+    /// that listener, so replies multiplex over one connection per node.
     pub fn spawn(
         n: usize,
         hcfg: &HistoryConfig,
@@ -242,9 +275,15 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         };
         let node_listeners: Vec<TcpListener> =
             (0..n).map(|i| bind(NodeId(i as u32), &mut peers)).collect();
-        let client_listeners: Vec<TcpListener> = (0..n)
-            .map(|i| bind(NodeId((n + i) as u32), &mut peers))
-            .collect();
+        // One listener carries every client session: all virtual client
+        // ids map to the mux's address, so each protocol node keeps a
+        // single connection to the whole client population.
+        let mux_id = NodeId(n as u32);
+        let mux_listener = bind(mux_id, &mut peers);
+        let mux_addr = peers.get(mux_id).expect("mux addr");
+        for i in 1..n {
+            peers.insert(NodeId((n + i) as u32), mux_addr);
+        }
 
         let mut cluster = LiveCluster {
             seed,
@@ -252,7 +291,11 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
             rules,
             peers,
             nodes: Vec::with_capacity(n),
-            clients: Vec::with_capacity(n),
+            mux: LiveSlot {
+                id: mux_id,
+                listener: mux_listener,
+                handle: None,
+            },
             down: BTreeMap::new(),
             ever_crashed: BTreeSet::new(),
             restart_factory,
@@ -269,16 +312,9 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
                 handle: Some(handle),
             });
         }
-        for (i, listener) in client_listeners.into_iter().enumerate() {
-            let id = NodeId((n + i) as u32);
-            let client = HistoryClient::<M>::new(i, n, NodeId(i as u32), hcfg.clone());
-            let handle = cluster.launch(id, &listener, Box::new(client));
-            cluster.clients.push(LiveSlot {
-                id,
-                listener,
-                handle: Some(handle),
-            });
-        }
+        let mux = ClientMux::<M>::new(n, n as u32, hcfg, seed);
+        let handle = cluster.launch(mux_id, &cluster.mux.listener, Box::new(mux));
+        cluster.mux.handle = Some(handle);
         cluster
     }
 
@@ -444,14 +480,30 @@ impl<M: ChaosProtocol + Wire + Send> LiveCluster<M> {
         self.nodes[id.0 as usize].handle = Some(handle);
     }
 
-    /// Stops every loop (clients first, so no new operations race the
-    /// teardown) and returns the final processes for the verdict.
+    /// Stops every loop (the client mux first, so no new operations race
+    /// the teardown) and returns the final processes for the verdict. The
+    /// mux is unpacked into its sessions, so the outcome keeps its
+    /// one-entry-per-client shape.
     pub fn shutdown(mut self) -> LiveOutcome<M> {
-        let mut clients = Vec::with_capacity(self.clients.len());
-        for (i, slot) in self.clients.iter_mut().enumerate() {
-            let handle = slot.handle.take().expect("clients are never crashed");
-            clients.push((slot.id, NodeId(i as u32), handle.stop()));
-        }
+        let n = self.nodes.len();
+        let handle = self.mux.handle.take().expect("mux is never crashed");
+        let mux = handle
+            .stop()
+            .into_any()
+            .downcast::<ClientMux<M>>()
+            .expect("client mux");
+        let clients: Vec<(NodeId, NodeId, Box<dyn Process<M>>)> = mux
+            .into_sessions()
+            .into_iter()
+            .enumerate()
+            .map(|(i, session)| {
+                (
+                    NodeId((n + i) as u32),
+                    NodeId(i as u32),
+                    Box::new(session) as Box<dyn Process<M>>,
+                )
+            })
+            .collect();
         let mut nodes = Vec::with_capacity(self.nodes.len());
         for slot in &mut self.nodes {
             match slot.handle.take() {
@@ -625,7 +677,7 @@ pub fn live_chaos_canopus_batched(
 ) -> LiveCluster<CanopusMsg> {
     let cfg = CanopusConfig {
         record_log: true,
-        max_linger: LIVE_TIME_UNIT / 8,
+        max_linger: live_time_unit() / 8,
         max_pipeline_depth: depth.max(1),
         ..live_canopus_config()
     };

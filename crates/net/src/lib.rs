@@ -15,9 +15,11 @@
 //!   and WAN bottlenecks emerge from first principles.
 //! * [`wire`] — the hand-rolled binary codec shared by the simulator's
 //!   size accounting and the real transport.
-//! * [`tcp`] — a thread-per-connection TCP driver (behind the `tcp`
-//!   feature, on by default) that runs unmodified [`canopus_sim::Process`]
-//!   state machines over real sockets.
+//! * [`tcp`] — a reactor-backed TCP driver (behind the `tcp` feature, on
+//!   by default) that runs unmodified [`canopus_sim::Process`] state
+//!   machines over real sockets: a fixed pool of epoll event loops (one
+//!   per core) carries every connection, so live clusters scale to
+//!   hundreds of nodes on one machine.
 //! * [`fault`] — the runtime fault table ([`FaultRules`]) the TCP
 //!   transport consults, so the nemesis engine can partition, impair, and
 //!   crash a *live* cluster the same way it does a simulated one.
@@ -27,6 +29,8 @@
 pub mod clos;
 pub mod fault;
 #[cfg(feature = "tcp")]
+pub mod reactor;
+#[cfg(feature = "tcp")]
 pub mod tcp;
 pub mod topology;
 pub mod wan;
@@ -34,6 +38,8 @@ pub mod wire;
 
 pub use clos::ClosFabric;
 pub use fault::FaultRules;
+#[cfg(feature = "tcp")]
+pub use reactor::SendGate;
 pub use topology::{LinkParams, RackId, Topology};
 pub use wan::{SiteId, WanMatrix};
 pub use wire::{Wire, WireError, WireRead};

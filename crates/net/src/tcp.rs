@@ -1,24 +1,29 @@
 //! TCP transport: runs the same sans-IO [`Process`] state machines over
-//! real sockets, one thread per node plus one per connection.
+//! real sockets, one node-loop thread per node on top of the shared
+//! [`reactor`](crate::reactor) pool (one epoll event loop per core).
 //!
 //! Frames are a 4-byte little-endian length prefix followed by the
 //! [`Wire`]-encoded message. The first frame on every connection is a
 //! handshake carrying the sender's [`NodeId`]. Outbound connections are
-//! established lazily per peer and re-established with backoff on failure;
-//! like the simulator's fabric, delivery is not guaranteed across a
-//! reconnect (consensus protocols tolerate loss by design).
+//! established lazily per peer address (and shared between peers at the
+//! same address), nonblocking with exponential backoff on failure; like
+//! the simulator's fabric, delivery is not guaranteed across a reconnect
+//! (consensus protocols tolerate loss by design). Per-peer write queues
+//! are bounded: when one fills, the send is shed as loss, counted under
+//! `net.drops.backpressure`, and the node's [`SendGate`] is raised so
+//! clients can back off.
 //!
 //! This module exists to make the library deployable, and to demonstrate
 //! that the protocol crates are genuinely IO-free: `examples/live_cluster.rs`
 //! runs a Canopus group over loopback TCP with zero changes to protocol
-//! code. The build is std-only (threads + `std::net`); an async runtime
-//! would slot in behind the same `tcp` feature.
+//! code, and `examples/live_scale.rs` runs 100+ nodes on one machine —
+//! the reactor keeps the thread count proportional to nodes and cores,
+//! not connections.
 
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
@@ -30,6 +35,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::fault::FaultRules;
+use crate::reactor::{DispatchVerdict, NodeIo, SendGate, SendOutcome};
 use crate::wire::{Wire, WireError, MAX_FRAME};
 
 /// How long the node loop waits before re-checking the shutdown signal.
@@ -80,24 +86,16 @@ pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> std::io::Result<
     Ok(())
 }
 
-/// Largest coalesced write the per-peer writer builds before flushing.
-/// Bounds both the batch buffer and the latency a queued frame can accrue
-/// behind earlier ones in the same flush.
-const MAX_COALESCE_BYTES: usize = 1 << 20;
-
-/// Appends one length-prefixed frame to a coalescing buffer.
-fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(payload);
-}
-
 /// Observability bundle for one TCP node: the node's hub plus a wall-clock
-/// origin so writer threads can stamp flight events without access to the
-/// node loop's clock. Clones share the underlying registry and recorder.
+/// origin so reactor-side recordings can stamp flight events without access
+/// to the node loop's clock, plus an optional [`SendGate`] surfacing
+/// transport backpressure to clients. Clones share the underlying registry,
+/// recorder, and gate.
 #[derive(Clone, Default)]
 pub struct NetObs {
     hub: NodeObs,
     origin: Option<Instant>,
+    gate: Option<SendGate>,
 }
 
 impl NetObs {
@@ -111,7 +109,22 @@ impl NetObs {
         NetObs {
             hub,
             origin: Some(Instant::now()),
+            gate: None,
         }
+    }
+
+    /// Attaches a backpressure gate: the transport raises it while any of
+    /// the node's peer write queues is at high water, and lowers it once
+    /// drained. Clients share the clone and shed or defer load while it
+    /// is saturated.
+    pub fn with_gate(mut self, gate: SendGate) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The attached backpressure gate, if any.
+    pub fn gate(&self) -> Option<&SendGate> {
+        self.gate.as_ref()
     }
 
     /// The wrapped hub.
@@ -132,10 +145,15 @@ struct NodeNetMetrics {
     obs: NetObs,
     sent: HashMap<(u32, &'static str), (Counter, Counter)>,
     recv: HashMap<(u32, &'static str), (Counter, Counter)>,
+    queue_bytes: HashMap<u32, Gauge>,
     fault_drops_send: Counter,
     fault_drops_recv: Counter,
+    backpressure_drops: Counter,
     flush_bytes: Histogram,
     no_addr_drops: Counter,
+    /// Peers already flagged in the flight recorder, so a saturated or
+    /// misconfigured link leaves one event, not one per shed message.
+    flagged: HashSet<(u32, &'static str)>,
 }
 
 impl NodeNetMetrics {
@@ -144,10 +162,13 @@ impl NodeNetMetrics {
         NodeNetMetrics {
             sent: HashMap::new(),
             recv: HashMap::new(),
+            queue_bytes: HashMap::new(),
             fault_drops_send: m.counter("net.drops.fault.send"),
             fault_drops_recv: m.counter("net.drops.fault.recv"),
+            backpressure_drops: m.counter("net.drops.backpressure"),
             flush_bytes: m.histogram("net.flush_bytes"),
             no_addr_drops: m.counter("net.drops.no_address"),
+            flagged: HashSet::new(),
             obs,
         }
     }
@@ -181,16 +202,27 @@ impl NodeNetMetrics {
         msgs.inc();
         by.add(bytes);
     }
-}
 
-/// Handles a writer thread records with: flush sizes, its queue depth, and
-/// drops for peers missing from the address book.
-#[derive(Clone)]
-struct WriterObs {
-    obs: NetObs,
-    flush_bytes: Histogram,
-    queue_depth: Gauge,
-    no_addr_drops: Counter,
+    fn set_queue_bytes(&mut self, to: NodeId, bytes: usize) {
+        if !self.obs.hub.is_enabled() {
+            return;
+        }
+        let m = &self.obs.hub.metrics;
+        self.queue_bytes
+            .entry(to.0)
+            .or_insert_with(|| m.gauge(&format!("net.queue_depth.p{}", to.0)))
+            .set(bytes as i64);
+    }
+
+    /// One flight event per (peer, reason); the counters carry the rate.
+    fn flag_drop(&mut self, to: NodeId, reason: &'static str) {
+        if self.flagged.insert((to.0, reason)) {
+            self.obs.hub.event(
+                self.obs.now_nanos(),
+                ObsEvent::NetDrop { peer: to.0, reason },
+            );
+        }
+    }
 }
 
 /// Static peer address book for a deployment.
@@ -321,8 +353,11 @@ where
 /// single relaxed atomic load; see [`FaultRules`].
 ///
 /// `obs` records per-peer message/byte counts by wire kind on both paths,
-/// fault-rule drop counts, coalesced-flush sizes, and per-peer writer
-/// queue depth. A disabled bundle costs one branch per recording.
+/// fault-rule and backpressure drop counts, coalesced-flush sizes, and
+/// per-peer write-queue depth in bytes. A disabled bundle costs one branch
+/// per recording. Listening, reading, connecting, and writing all run on
+/// the shared reactor pool; this function's thread only drives the state
+/// machine and its timers.
 #[allow(clippy::too_many_arguments)]
 pub fn run_node_obs<M>(
     id: NodeId,
@@ -337,44 +372,35 @@ pub fn run_node_obs<M>(
 where
     M: Wire + Payload + Send,
 {
+    let gate = obs.gate.clone();
     let mut metrics = NodeNetMetrics::new(obs);
     let start = Instant::now();
     let now_fn = move || Time::from_nanos(start.elapsed().as_nanos() as u64);
 
     let (inbox_tx, inbox_rx) = mpsc::channel::<(NodeId, M)>();
 
-    // Accept loop: each inbound connection handshakes, then feeds the inbox.
-    let stop_flag = Arc::new(AtomicBool::new(false));
-    let accept_stop = Arc::clone(&stop_flag);
-    let accept_inbox = inbox_tx.clone();
-    listener
-        .set_nonblocking(true)
-        .expect("set listener nonblocking");
-    let accept_thread = std::thread::spawn(move || {
-        while !accept_stop.load(Ordering::Relaxed) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nonblocking(false);
-                    let inbox = accept_inbox.clone();
-                    std::thread::spawn(move || {
-                        // Connection errors are expected during
-                        // shutdown/reconnect.
-                        let _ = serve_connection(stream, inbox);
-                    });
+    // Inbound frames are decoded on reactor threads and forwarded here;
+    // the node loop below applies the receive-path fault check so rules
+    // landing while a message is in flight still drop it.
+    let dispatch: crate::reactor::Dispatch =
+        Arc::new(
+            move |from: NodeId, frame: Bytes| match M::from_bytes(frame) {
+                Ok(msg) => {
+                    if inbox_tx.send((from, msg)).is_err() {
+                        DispatchVerdict::Closed
+                    } else {
+                        DispatchVerdict::Continue
+                    }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
-                }
-                Err(_) => return,
-            }
-        }
-    });
+                Err(_) => DispatchVerdict::Corrupt,
+            },
+        );
+    let mut io = NodeIo::register(id, listener, dispatch, gate, metrics.flush_bytes.clone());
 
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut next_timer_id: u64 = 0;
     let mut timers: BinaryHeap<TimerEntry> = BinaryHeap::new();
     let mut armed: HashSet<u64> = HashSet::new();
-    let mut outbox: HashMap<NodeId, (SyncSender<Bytes>, Gauge)> = HashMap::new();
 
     // Start the process.
     {
@@ -387,7 +413,7 @@ where
             now_fn(),
             &mut timers,
             &mut armed,
-            &mut outbox,
+            &mut io,
             &peers,
             &rules,
             &mut metrics,
@@ -431,7 +457,7 @@ where
                             now_fn(),
                             &mut timers,
                             &mut armed,
-                            &mut outbox,
+                            &mut io,
                             &peers,
                             &rules,
                             &mut metrics,
@@ -467,7 +493,7 @@ where
                     now_fn(),
                     &mut timers,
                     &mut armed,
-                    &mut outbox,
+                    &mut io,
                     &peers,
                     &rules,
                     &mut metrics,
@@ -478,37 +504,12 @@ where
         }
     }
 
-    stop_flag.store(true, Ordering::Relaxed);
+    // Synchronous deregistration: when close() returns, every fd the node
+    // owned (listener registration, inbound and outbound connections) has
+    // been torn down on its loop — shutdown leaks nothing.
+    io.close();
     drop(inbox_rx);
-    let _ = accept_thread.join();
     process
-}
-
-fn serve_connection<M>(mut stream: TcpStream, inbox: Sender<(NodeId, M)>) -> std::io::Result<()>
-where
-    M: Wire + Payload + Send,
-{
-    // Buffer reads so a coalesced flush from the peer's writer (many small
-    // frames in one segment) costs one syscall here too, not one per frame.
-    let mut stream = std::io::BufReader::with_capacity(READ_CHUNK, &mut stream);
-    let Some(hello) = read_frame(&mut stream)? else {
-        return Ok(());
-    };
-    let peer = NodeId::from_bytes(hello)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    while let Some(frame) = read_frame(&mut stream)? {
-        match M::from_bytes(frame) {
-            Ok(msg) => {
-                if inbox.send((peer, msg)).is_err() {
-                    return Ok(()); // node shut down
-                }
-            }
-            Err(e) => {
-                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
-            }
-        }
-    }
-    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -518,7 +519,7 @@ fn apply_effects<M>(
     now: Time,
     timers: &mut BinaryHeap<TimerEntry>,
     armed: &mut HashSet<u64>,
-    outbox: &mut HashMap<NodeId, (SyncSender<Bytes>, Gauge)>,
+    io: &mut NodeIo,
     peers: &PeerMap,
     rules: &FaultRules,
     metrics: &mut NodeNetMetrics,
@@ -534,25 +535,26 @@ fn apply_effects<M>(
                     metrics.fault_drops_send.inc();
                     continue;
                 }
+                let Some(addr) = peers.get(to) else {
+                    // No address book entry: consensus treats this as
+                    // loss, but it is almost always a deployment bug, so
+                    // flag the link and count every message shed on it.
+                    metrics.no_addr_drops.inc();
+                    metrics.flag_drop(to, "no_address");
+                    continue;
+                };
                 metrics.count_sent(to, msg.kind(), msg.wire_size() as u64);
-                let (sender, depth) = outbox.entry(to).or_insert_with(|| {
-                    let wobs = WriterObs {
-                        obs: metrics.obs.clone(),
-                        flush_bytes: metrics.flush_bytes.clone(),
-                        queue_depth: metrics
-                            .obs
-                            .hub
-                            .metrics
-                            .gauge(&format!("net.queue_depth.p{}", to.0)),
-                        no_addr_drops: metrics.no_addr_drops.clone(),
-                    };
-                    let depth = wobs.queue_depth.clone();
-                    (spawn_writer(self_id, to, peers.get(to), wobs), depth)
-                });
-                // Non-blocking: a slow/unreachable peer sheds load instead of
-                // stalling the protocol loop (equivalent to network loss).
-                if sender.try_send(msg.to_bytes()).is_ok() {
-                    depth.add(1);
+                match io.send(addr, msg.to_bytes()) {
+                    SendOutcome::Queued => {
+                        metrics.set_queue_bytes(to, io.queued_bytes(addr));
+                    }
+                    SendOutcome::Backpressure => {
+                        // The peer's bounded queue is full: shed as loss
+                        // (never stall the protocol loop) and leave the
+                        // gate raised for clients to observe.
+                        metrics.backpressure_drops.inc();
+                        metrics.flag_drop(to, "backpressure");
+                    }
                 }
             }
             Effect::SetTimer { id, after, token } => {
@@ -568,95 +570,6 @@ fn apply_effects<M>(
             }
         }
     }
-}
-
-/// Spawns the writer thread for one peer; returns the channel feeding it.
-fn spawn_writer(
-    self_id: NodeId,
-    to: NodeId,
-    addr: Option<SocketAddr>,
-    wobs: WriterObs,
-) -> SyncSender<Bytes> {
-    let (tx, rx) = mpsc::sync_channel::<Bytes>(4096);
-    std::thread::spawn(move || {
-        let Some(addr) = addr else {
-            // No address book entry: consensus treats this as loss, but it
-            // is almost always a deployment bug, so leave a flight-recorder
-            // event and count every message shed on this dead link.
-            wobs.obs.hub.event(
-                wobs.obs.now_nanos(),
-                ObsEvent::NetDrop {
-                    peer: to.0,
-                    reason: "no_address",
-                },
-            );
-            while rx.recv().is_ok() {
-                wobs.no_addr_drops.inc();
-                wobs.queue_depth.add(-1);
-            }
-            return;
-        };
-        let mut backoff = StdDuration::from_millis(10);
-        let mut batch: Vec<u8> = Vec::with_capacity(READ_CHUNK);
-        'reconnect: loop {
-            let mut stream = loop {
-                match TcpStream::connect(addr) {
-                    Ok(s) => break s,
-                    Err(_) => {
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(StdDuration::from_secs(1));
-                        // Drain queued messages while unreachable (loss).
-                        loop {
-                            match rx.try_recv() {
-                                Ok(_) => wobs.queue_depth.add(-1),
-                                Err(mpsc::TryRecvError::Empty) => break,
-                                Err(mpsc::TryRecvError::Disconnected) => return,
-                            }
-                        }
-                    }
-                }
-            };
-            backoff = StdDuration::from_millis(10);
-            let _ = stream.set_nodelay(true);
-            if write_frame(&mut stream, &self_id.to_bytes()).is_err() {
-                continue 'reconnect;
-            }
-            // Block for the first queued frame, then coalesce everything
-            // already waiting (bounded by MAX_COALESCE_BYTES) into one
-            // write: a burst of small frames costs one syscall, while an
-            // idle link still flushes each frame the moment it arrives.
-            loop {
-                let Ok(first) = rx.recv() else {
-                    return; // channel closed: node shut down
-                };
-                wobs.queue_depth.add(-1);
-                batch.clear();
-                append_frame(&mut batch, &first);
-                let mut closing = false;
-                while batch.len() < MAX_COALESCE_BYTES {
-                    match rx.try_recv() {
-                        Ok(frame) => {
-                            wobs.queue_depth.add(-1);
-                            append_frame(&mut batch, &frame);
-                        }
-                        Err(mpsc::TryRecvError::Empty) => break,
-                        Err(mpsc::TryRecvError::Disconnected) => {
-                            closing = true;
-                            break;
-                        }
-                    }
-                }
-                wobs.flush_bytes.observe(batch.len() as u64);
-                if stream.write_all(&batch).is_err() {
-                    continue 'reconnect;
-                }
-                if closing {
-                    return; // final flush done; node shut down
-                }
-            }
-        }
-    });
-    tx
 }
 
 /// Spawns [`run_node_with_rules`] on a fresh thread and returns the
@@ -783,8 +696,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reactor::append_frame;
     use bytes::BytesMut;
     use canopus_sim::impl_process_any;
+    use std::net::TcpStream;
 
     #[derive(Debug, Clone, PartialEq)]
     struct Num(u64);
@@ -841,8 +756,9 @@ mod tests {
 
     #[test]
     fn coalesced_flush_parses_back_into_individual_frames() {
-        // One buffer holding three frames — exactly what the writer thread
-        // sends in a single write_all — must decode frame by frame.
+        // One buffer holding three frames — exactly what a coalesced
+        // reactor flush sends in a single write — must decode frame by
+        // frame.
         let mut buf = Vec::new();
         append_frame(&mut buf, b"alpha");
         append_frame(&mut buf, b"");
@@ -953,5 +869,238 @@ mod tests {
         let b_final = processes.pop().unwrap();
         let counter = b_final.as_any().downcast_ref::<Counter>().expect("counter");
         assert_eq!(counter.seen, (1..=100).collect::<Vec<_>>());
+    }
+
+    /// Spawns a lone sink node with no peers; returns its handle.
+    fn spawn_sink() -> TcpNodeHandle<Num> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        spawn_node_with_rules::<Num>(
+            NodeId(0),
+            Box::new(Counter {
+                peer: None,
+                count: 0,
+                seen: Vec::new(),
+            }),
+            listener,
+            PeerMap::new(),
+            11,
+            Arc::new(FaultRules::new(11)),
+        )
+    }
+
+    #[test]
+    fn partial_frames_split_across_readiness_events_reassemble() {
+        let handle = spawn_sink();
+        let addr = handle.addr;
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.set_nodelay(true).unwrap();
+        // Handshake then two frames, dribbled a few bytes at a time with
+        // pauses, so the reactor sees many readiness events per frame and
+        // must hold partial headers and partial payloads across them.
+        let mut stream_bytes = Vec::new();
+        append_frame(&mut stream_bytes, &NodeId(9).to_bytes());
+        append_frame(&mut stream_bytes, &Num(41).to_bytes());
+        append_frame(&mut stream_bytes, &Num(42).to_bytes());
+        for chunk in stream_bytes.chunks(3) {
+            client.write_all(chunk).unwrap();
+            client.flush().unwrap();
+            std::thread::sleep(StdDuration::from_millis(2));
+        }
+        // Let the last dispatch land.
+        std::thread::sleep(StdDuration::from_millis(100));
+        let final_state = handle.stop();
+        let counter = final_state.as_any().downcast_ref::<Counter>().unwrap();
+        assert_eq!(counter.seen, vec![41, 42]);
+    }
+
+    #[test]
+    fn truncated_oversized_frame_mid_chunk_closes_conn_but_not_node() {
+        let handle = spawn_sink();
+        let addr = handle.addr;
+        // Connection 1: handshake, then a huge-but-legal length prefix
+        // with only a sliver of body, then EOF. The reactor must reject
+        // or drop it without buffering the claimed size and without
+        // taking the node down.
+        {
+            let mut bad = TcpStream::connect(addr).unwrap();
+            let mut bytes = Vec::new();
+            append_frame(&mut bytes, &NodeId(8).to_bytes());
+            bytes.extend_from_slice(&((MAX_FRAME - 1) as u32).to_le_bytes());
+            bytes.extend_from_slice(b"abc");
+            bad.write_all(&bytes).unwrap();
+        } // dropped: EOF mid-frame
+          // Connection 2 (after the bad one): a valid frame still lands.
+        std::thread::sleep(StdDuration::from_millis(50));
+        let mut good = TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        append_frame(&mut bytes, &NodeId(9).to_bytes());
+        append_frame(&mut bytes, &Num(7).to_bytes());
+        good.write_all(&bytes).unwrap();
+        std::thread::sleep(StdDuration::from_millis(100));
+        let final_state = handle.stop();
+        let counter = final_state.as_any().downcast_ref::<Counter>().unwrap();
+        assert_eq!(counter.seen, vec![7], "node must survive the bad conn");
+    }
+
+    #[test]
+    fn over_limit_prefix_rejected_by_reactor_without_allocation() {
+        let handle = spawn_sink();
+        let addr = handle.addr;
+        let mut bad = TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        append_frame(&mut bytes, &NodeId(8).to_bytes());
+        // Over MAX_FRAME: must be rejected on sight of the prefix.
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bad.write_all(&bytes).unwrap();
+        // The reactor closes the connection: the next read sees EOF.
+        bad.set_read_timeout(Some(StdDuration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        let n = bad.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "reactor must close the offending connection");
+        drop(handle.stop());
+    }
+
+    /// A process that blasts large payloads at one peer on start.
+    struct Blaster {
+        peer: NodeId,
+        frames: usize,
+        frame_len: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Blob(Vec<u8>);
+
+    impl Payload for Blob {
+        fn wire_size(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl Wire for Blob {
+        fn encode(&self, buf: &mut BytesMut) {
+            buf.extend_from_slice(&self.0);
+        }
+        fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+            let all = buf.split_to(buf.len());
+            Ok(Blob(all.to_vec()))
+        }
+    }
+
+    impl Process<Blob> for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            for _ in 0..self.frames {
+                ctx.send(self.peer, Blob(vec![0xAB; self.frame_len]));
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: Blob, _ctx: &mut Context<'_, Blob>) {}
+        impl_process_any!();
+    }
+
+    #[test]
+    fn full_write_queue_signals_backpressure_and_raises_gate() {
+        // A listener that accepts but never reads: the kernel buffers
+        // fill, then the bounded reactor queue fills, then sends must
+        // come back as explicit backpressure.
+        let sink = TcpListener::bind("127.0.0.1:0").unwrap();
+        let sink_addr = sink.local_addr().unwrap();
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let acceptor = std::thread::spawn(move || {
+            sink.set_nonblocking(true).unwrap();
+            let mut held = Vec::new();
+            loop {
+                if let Ok((s, _)) = sink.accept() {
+                    held.push(s);
+                }
+                match stop_rx.recv_timeout(StdDuration::from_millis(10)) {
+                    Err(RecvTimeoutError::Timeout) => {}
+                    _ => return,
+                }
+            }
+        });
+
+        let mut peers = PeerMap::new();
+        peers.insert(NodeId(1), sink_addr);
+        let gate = SendGate::new();
+        let hub = NodeObs::enabled(0, 16);
+        let obs = NetObs::new(hub.clone()).with_gate(gate.clone());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        // 256 frames x 256 KiB = 64 MiB >> kernel buffers + 2 MiB queue.
+        let handle = spawn_node_obs::<Blob>(
+            NodeId(0),
+            Box::new(Blaster {
+                peer: NodeId(1),
+                frames: 256,
+                frame_len: 256 << 10,
+            }),
+            listener,
+            peers,
+            5,
+            Arc::new(FaultRules::new(5)),
+            obs,
+        );
+        // The blast happens in on_start, before the node loop spins; by
+        // the time sends return the queue must have saturated.
+        std::thread::sleep(StdDuration::from_millis(300));
+        let dropped = hub
+            .metrics
+            .snapshot()
+            .counter("net.drops.backpressure")
+            .unwrap_or(0);
+        assert!(
+            dropped > 0,
+            "an unread peer must surface explicit backpressure"
+        );
+        assert!(gate.incidents() > 0, "gate must record the incident");
+        drop(handle.stop());
+        let _ = stop_tx.send(());
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn fault_rules_same_seed_same_sequence_identical_decisions() {
+        // The reactor changed *when* and *on which thread* verdicts are
+        // taken, but determinism must only depend on (seed, query
+        // sequence). Replay the same interrogation twice and compare.
+        let interrogate = |rules: &FaultRules| -> Vec<bool> {
+            let mut verdicts = Vec::new();
+            for round in 0..200u32 {
+                let from = NodeId(round % 5);
+                let to = NodeId((round + 1) % 5);
+                verdicts.push(rules.should_drop(from, to));
+            }
+            verdicts
+        };
+        let build = || {
+            let rules = FaultRules::new(0xC0FFEE);
+            rules.set_loss(0.5);
+            rules.cut_one_way(NodeId(2), NodeId(3));
+            rules
+        };
+        let a = interrogate(&build());
+        let b = interrogate(&build());
+        assert_eq!(a, b, "same seed + same sequence => same verdicts");
+        assert!(a.iter().any(|&v| v), "loss at 0.5 must drop something");
+        assert!(!a.iter().all(|&v| v), "loss at 0.5 must pass something");
+
+        // Deterministic rules (cuts/isolation/crash marks) must not
+        // depend on query order at all — reactor loops interleave them
+        // arbitrarily across threads.
+        let rules = std::sync::Arc::new(build());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let r = std::sync::Arc::clone(&rules);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let cut = r.should_drop_link(NodeId(2), NodeId(3));
+                    assert!(cut, "cut link stays cut (thread {t}, iter {i})");
+                    let open = r.should_drop_link(NodeId(0), NodeId(1));
+                    assert!(!open, "open link stays open (thread {t}, iter {i})");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
     }
 }

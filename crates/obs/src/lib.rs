@@ -25,12 +25,14 @@
 
 mod flight;
 mod metrics;
+mod reactor;
 
 pub use flight::{EventKind, FlightEvent, FlightRecorder, DUMP_HEADER};
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use reactor::{reactor_registry, reactor_snapshot, ReactorObs};
 
 /// Everything one node carries: its metrics registry plus its flight
 /// recorder. Cloning shares the underlying storage, so a harness can keep

@@ -1,0 +1,98 @@
+//! Process-global reactor metrics.
+//!
+//! The TCP reactor in `canopus-net` is shared by every node in the
+//! process (one event loop per core), so its counters do not belong to
+//! any single [`NodeObs`](crate::NodeObs) hub. This module owns one
+//! process-wide [`Registry`] for them. Event loops cache a
+//! [`ReactorObs`] handle once at startup, so steady-state recording is a
+//! relaxed atomic add per event — there is no per-node branch to skip,
+//! and the registry is always enabled (the reactor's own syscalls dwarf
+//! the counter cost).
+
+use std::sync::OnceLock;
+
+use crate::metrics::{Counter, Registry, Snapshot};
+
+static REACTOR_REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry backing the reactor counters.
+pub fn reactor_registry() -> &'static Registry {
+    REACTOR_REGISTRY.get_or_init(Registry::new)
+}
+
+/// A snapshot of the reactor registry (loop iterations, readiness events,
+/// backpressure incidents, connection churn, ...).
+pub fn reactor_snapshot() -> Snapshot {
+    reactor_registry().snapshot()
+}
+
+/// Cached counter handles for one reactor event loop (or any transport
+/// component that reports into the global reactor registry).
+#[derive(Clone)]
+pub struct ReactorObs {
+    /// Event-loop iterations (one per `epoll_wait` return).
+    pub iterations: Counter,
+    /// Readiness events dispatched (one per fd event).
+    pub readiness_events: Counter,
+    /// Cross-thread wakeups delivered via the loop's eventfd waker.
+    pub wakeups: Counter,
+    /// Sends rejected because a peer's bounded write queue was full.
+    pub backpressure_full: Counter,
+    /// Outbound connections that reached the established state.
+    pub conns_opened: Counter,
+    /// Connections torn down (EOF, error, or node shutdown).
+    pub conns_closed: Counter,
+    /// Reconnect attempts scheduled after a failed/broken outbound link.
+    pub reconnects: Counter,
+    /// Inbound connections accepted.
+    pub accepted: Counter,
+    /// Frames decoded off the wire and dispatched to node inboxes.
+    pub frames_in: Counter,
+    /// Frames flushed onto the wire.
+    pub frames_out: Counter,
+}
+
+impl ReactorObs {
+    /// Handles into the process-global reactor registry.
+    pub fn global() -> ReactorObs {
+        let r = reactor_registry();
+        ReactorObs {
+            iterations: r.counter("reactor.loop.iterations"),
+            readiness_events: r.counter("reactor.readiness.events"),
+            wakeups: r.counter("reactor.wakeups"),
+            backpressure_full: r.counter("reactor.backpressure.full"),
+            conns_opened: r.counter("reactor.conns.opened"),
+            conns_closed: r.counter("reactor.conns.closed"),
+            reconnects: r.counter("reactor.conns.reconnects"),
+            accepted: r.counter("reactor.conns.accepted"),
+            frames_in: r.counter("reactor.frames.in"),
+            frames_out: r.counter("reactor.frames.out"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_handles_share_one_registry() {
+        let a = ReactorObs::global();
+        let b = ReactorObs::global();
+        let before = reactor_snapshot()
+            .counters
+            .iter()
+            .find(|(k, _)| k == "reactor.loop.iterations")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        a.iterations.inc();
+        b.iterations.inc();
+        let after = reactor_snapshot()
+            .counters
+            .iter()
+            .find(|(k, _)| k == "reactor.loop.iterations")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert_eq!(after, before + 2);
+    }
+}
