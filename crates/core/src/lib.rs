@@ -44,6 +44,7 @@ pub mod emulation;
 pub mod msg;
 pub mod node;
 pub mod proposal;
+pub mod shard;
 pub mod types;
 
 pub use config::{CanopusConfig, CostModel, CycleTrigger, ReadMode};
@@ -51,4 +52,5 @@ pub use emulation::EmulationTable;
 pub use msg::{BroadcastItem, CanopusMsg};
 pub use node::{CanopusNode, CanopusStats, CommittedCycle, CommittedOp, CommittedSet};
 pub use proposal::{MembershipUpdate, RequestSet, TimedOp, VnodeState};
+pub use shard::{ShardEngine, ShardEngineStats, ShardMsg};
 pub use types::{CycleId, LotShape, VnodeId};

@@ -62,6 +62,16 @@ pub enum CommittedOp {
         /// Requests represented.
         count: u32,
     },
+    /// An atomic multi-key write (the part of a cross-shard transaction
+    /// sequenced in this instance's LOT, or a whole single-shard one).
+    MultiPut {
+        /// Requesting client.
+        client: NodeId,
+        /// Client-assigned id (shared across all shards' parts).
+        op_id: u64,
+        /// Keys written, in client order.
+        keys: Vec<Key>,
+    },
 }
 
 /// One origin's committed request set within a cycle.
@@ -416,9 +426,9 @@ impl CanopusNode {
     }
 
     fn handle_client_request(&mut self, req: ClientRequest, ctx: &mut Context<'_, CanopusMsg>) {
-        ctx.charge(Dur::nanos(
-            self.cfg.costs.per_request.as_nanos() * req.op.weight().min(4096) as u64,
-        ));
+        // Aggregates are parsed once, not per represented op; the cost
+        // model amortizes their ingest (see CostModel::ingest_cost).
+        ctx.charge(self.cfg.costs.ingest_cost(req.op.weight()));
         if req.op.is_write() {
             let op = TimedOp {
                 req,
@@ -1180,12 +1190,28 @@ impl CanopusNode {
                 op_id: op.req.op_id,
                 count: *count,
             },
+            Op::MultiPut { puts } => {
+                // Commit work scales with touched keys, not request weight.
+                ctx.charge(Dur::nanos(
+                    self.cfg.costs.per_commit.as_nanos() * (puts.len().min(4096)) as u64,
+                ));
+                let mut keys = Vec::with_capacity(puts.len());
+                for (key, value) in puts {
+                    self.store.put(*key, value.clone());
+                    keys.push(*key);
+                }
+                CommittedOp::MultiPut {
+                    client: op.req.client,
+                    op_id: op.req.op_id,
+                    keys,
+                }
+            }
             _ => unreachable!("reads are never in request sets"),
         };
         if is_own {
             self.stats.own_writes += weight as u64;
             let result = match op.req.op {
-                Op::Put { .. } => OpResult::Written,
+                Op::Put { .. } | Op::MultiPut { .. } => OpResult::Written,
                 _ => OpResult::Batch,
             };
             ctx.send(

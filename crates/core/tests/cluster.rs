@@ -156,6 +156,9 @@ fn commit_histories(cluster: &Cluster) -> Vec<Vec<(u64, u32, u64)>> {
                             CommittedOp::Synthetic { client, op_id, .. } => {
                                 (u64::MAX, client.0, op_id)
                             }
+                            CommittedOp::MultiPut { client, op_id, .. } => {
+                                (u64::MAX - 1, client.0, op_id)
+                            }
                         })
                     })
                 })
@@ -504,6 +507,9 @@ fn node_failure_excludes_and_consensus_continues() {
                             CommittedOp::Synthetic { client, op_id, .. } => {
                                 (u64::MAX, client.0, op_id)
                             }
+                            CommittedOp::MultiPut { client, op_id, .. } => {
+                                (u64::MAX - 1, client.0, op_id)
+                            }
                         })
                     })
                 })
@@ -567,6 +573,9 @@ fn superleaf_failure_stalls_without_divergence() {
                             } => (key, client.0, op_id),
                             CommittedOp::Synthetic { client, op_id, .. } => {
                                 (u64::MAX, client.0, op_id)
+                            }
+                            CommittedOp::MultiPut { client, op_id, .. } => {
+                                (u64::MAX - 1, client.0, op_id)
                             }
                         })
                     })

@@ -232,6 +232,18 @@ impl EpaxosNode {
                     Some(*key)
                 }
                 Op::Get { key } => Some(*key),
+                Op::MultiPut { puts } => {
+                    // Interferes on every touched key; fold all but the
+                    // first into the write set here and let the shared
+                    // path below handle the first.
+                    for (k, _) in puts.iter().skip(1) {
+                        touched_for_write.push(*k);
+                    }
+                    puts.first().map(|(k, _)| {
+                        touched_for_write.push(*k);
+                        *k
+                    })
+                }
                 _ => None, // synthetic: zero interference, as in the paper
             };
             if let Some(key) = key {
@@ -319,7 +331,7 @@ impl EpaxosNode {
             .map(|op| {
                 let weight = op.req.op.weight();
                 let result = match op.req.op {
-                    Op::Put { .. } => OpResult::Written,
+                    Op::Put { .. } | Op::MultiPut { .. } => OpResult::Written,
                     _ => OpResult::Batch,
                 };
                 (
@@ -459,6 +471,18 @@ impl EpaxosNode {
                                 result: OpResult::Value(value),
                             }),
                         );
+                    }
+                }
+                Op::MultiPut { puts } => {
+                    for (key, value) in puts {
+                        self.store.put(*key, value.clone());
+                        if self.cfg.record_log {
+                            self.write_log.entry(*key).or_default().push((
+                                op.req.client,
+                                op.req.op_id,
+                                ctx.now(),
+                            ));
+                        }
                     }
                 }
                 Op::SyntheticWrite { .. } => {}

@@ -201,16 +201,42 @@ fn client_node_config() -> NodeConfig {
     NodeConfig {
         base_msg_cost: Dur::nanos(200),
         per_send_cost: Dur::nanos(100),
+        lanes: 1,
     }
 }
 
 /// Builds a cluster from explicit node, client, and restart factories —
 /// the generic assembly the per-protocol builders and the chaos harness
 /// share. `make_client(i, target)` builds the client co-located with node
-/// `i`.
+/// `i`. Protocol nodes get the default single-lane [`NodeConfig`]; the
+/// sharded builders use [`build_custom_cfg`] to give each node one CPU
+/// lane per hosted shard.
 pub fn build_custom<M>(
     spec: &DeploymentSpec,
     seed: u64,
+    make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
+    make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<M>>,
+    restart_factory: RestartFactory<M>,
+) -> Cluster<M>
+where
+    M: Payload,
+{
+    build_custom_cfg(
+        spec,
+        seed,
+        NodeConfig::default(),
+        make_node,
+        make_client,
+        restart_factory,
+    )
+}
+
+/// [`build_custom`] with an explicit [`NodeConfig`] for the protocol
+/// nodes (clients keep their own dedicated-machine config).
+pub fn build_custom_cfg<M>(
+    spec: &DeploymentSpec,
+    seed: u64,
+    node_cfg: NodeConfig,
     mut make_node: impl FnMut(NodeId) -> Box<dyn Process<M>>,
     mut make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<M>>,
     restart_factory: RestartFactory<M>,
@@ -230,7 +256,7 @@ where
     let mut sim = Simulation::new(fabric, seed);
     let mut nodes = Vec::with_capacity(n);
     for i in 0..n {
-        let id = sim.add_node(make_node(NodeId(i as u32)));
+        let id = sim.add_node_with(make_node(NodeId(i as u32)), node_cfg);
         assert_eq!(id, NodeId(i as u32), "node ids must match topology");
         nodes.push(id);
     }
@@ -281,6 +307,8 @@ where
             op_bytes: 16,
             warmup: load.warmup,
             max_batch: load.client_max_batch,
+            shards: load.shards,
+            shard_theta: load.shard_theta,
             ..OpenLoopConfig::default()
         };
         Box::new(OpenLoopClient::<M>::new(
@@ -386,6 +414,99 @@ pub fn build_canopus_obs(
 ) -> Cluster<CanopusMsg> {
     let clients = open_loop_client_factory(load, spec.node_count(), seed);
     build_canopus_with(spec, cfg, seed, clients, obs)
+}
+
+/// Observability hubs for a sharded cluster: one hub per (node, shard)
+/// pair, node-major, so each LOT instance records to its own registry and
+/// flight recorder. Flight events are tagged `node * 256 + shard`, which
+/// keeps per-shard streams distinguishable in a failure dump.
+fn sharded_hubs(obs: &ClusterObs, n: usize, shards: u16) -> Vec<NodeObs> {
+    (0..n as u32)
+        .flat_map(|node| (0..u32::from(shards)).map(move |s| (node, s)))
+        .map(|(node, s)| {
+            if obs.flight_cap == 0 {
+                NodeObs::disabled()
+            } else {
+                NodeObs::enabled(node * 256 + s, obs.flight_cap)
+            }
+        })
+        .collect()
+}
+
+/// Builds a shard-parallel Canopus cluster over custom clients: every
+/// node hosts `shards` independent LOT instances behind one transport
+/// identity ([`canopus::ShardEngine`]), with one CPU lane per shard so
+/// the pipelines commit concurrently. Per-shard configuration goes
+/// through `cfg_of(shard)` — uniform tuning passes the same config for
+/// every shard. A restarted node comes back as a fresh engine (the
+/// survivors' per-shard tombstone machinery keeps it excluded, exactly
+/// as in the unsharded builder).
+pub fn build_sharded_canopus_with(
+    spec: &DeploymentSpec,
+    mut cfg_of: impl FnMut(u16) -> CanopusConfig,
+    shards: u16,
+    seed: u64,
+    make_client: impl FnMut(usize, NodeId) -> Box<dyn Process<canopus::ShardMsg>>,
+    obs: ClusterObs,
+) -> Cluster<canopus::ShardMsg> {
+    let shards = shards.max(1);
+    let table = emulation_table_for(spec);
+    let restart_table = table.clone();
+    let cfgs: Vec<CanopusConfig> = (0..shards).map(&mut cfg_of).collect();
+    let restart_cfgs = cfgs.clone();
+    let hubs = sharded_hubs(&obs, spec.node_count(), shards);
+    let node_hubs = hubs.clone();
+    let restart_hubs = hubs.clone();
+    let engine =
+        move |id: NodeId, table: &EmulationTable, cfgs: &[CanopusConfig], hubs: &[NodeObs]| {
+            let per_node = hubs[id.0 as usize * shards as usize..].to_vec();
+            Box::new(
+                canopus::ShardEngine::with_configs(id, table.clone(), shards, seed, |s| {
+                    cfgs[s as usize].clone()
+                })
+                .with_obs(move |s| per_node[s as usize].clone()),
+            )
+        };
+    let restart_engine = engine;
+    let mut cluster = build_custom_cfg(
+        spec,
+        seed,
+        NodeConfig::default().with_lanes(u32::from(shards)),
+        |id| engine(id, &table, &cfgs, &node_hubs),
+        make_client,
+        Box::new(move |id, _old| restart_engine(id, &restart_table, &restart_cfgs, &restart_hubs)),
+    );
+    install_obs(&mut cluster, hubs, obs.net_registry());
+    cluster
+}
+
+/// Builds a shard-parallel Canopus cluster driven by the paper's
+/// open-loop client model, with the clients splitting their offered load
+/// across the shards per the [`LoadSpec`]'s shard routing (uniform or
+/// Zipf-skewed).
+pub fn build_sharded_canopus(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: CanopusConfig,
+    shards: u16,
+    seed: u64,
+) -> Cluster<canopus::ShardMsg> {
+    build_sharded_canopus_obs(spec, load, cfg, shards, seed, ClusterObs::off())
+}
+
+/// [`build_sharded_canopus`] with observability attached — the shard
+/// scaling bench reads per-shard batch and pipeline metrics from the
+/// per-(node, shard) hubs.
+pub fn build_sharded_canopus_obs(
+    spec: &DeploymentSpec,
+    load: &LoadSpec,
+    cfg: CanopusConfig,
+    shards: u16,
+    seed: u64,
+    obs: ClusterObs,
+) -> Cluster<canopus::ShardMsg> {
+    let clients = open_loop_client_factory(load, spec.node_count(), seed);
+    build_sharded_canopus_with(spec, |_| cfg.clone(), shards, seed, clients, obs)
 }
 
 /// Builds an EPaxos cluster over custom clients. EPaxos has no recovery

@@ -29,11 +29,11 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
-use canopus::{CanopusMsg, CanopusNode, CommittedOp};
+use canopus::{CanopusMsg, CanopusNode, CommittedOp, ShardEngine, ShardMsg};
 use canopus_epaxos::{EpaxosMsg, EpaxosNode};
 use canopus_kv::{
     check_agreement, check_client_fifo, ClientRequest, Key, LinChecker, Op, OpResult, ReadObs,
-    ReplyEvent, WriteObs,
+    ReplyEvent, ShardRouter, WriteObs,
 };
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
 use canopus_workload::ProtocolMsg;
@@ -90,6 +90,17 @@ pub struct HistoryConfig {
     /// gives each hosted session a disjoint base so replies arriving on
     /// the shared transport can be routed back by op id alone.
     pub op_id_base: u64,
+    /// Issue every `n`-th write as an [`Op::MultiPut`] spanning the
+    /// client's steady-state keys (0 — the default — never does). Against
+    /// a sharded deployment this exercises the cross-shard anchor
+    /// protocol; the sharded verdict then checks all-or-nothing presence
+    /// of every transaction's parts across per-shard logs.
+    pub multi_put_every: u64,
+    /// When set to `(shard, shards)`, every steady-state and probe key is
+    /// remapped to the nearest key the [`ShardRouter`] assigns to that
+    /// shard — the hot-shard skew harness, concentrating the entire
+    /// client population on one LOT pipeline.
+    pub hot_shard: Option<(u16, u16)>,
 }
 
 impl Default for HistoryConfig {
@@ -102,6 +113,8 @@ impl Default for HistoryConfig {
             probe_at: Time::ZERO + Dur::millis(1100),
             stop_at: Time::ZERO + Dur::millis(1800),
             op_id_base: 0,
+            multi_put_every: 0,
+            hot_shard: None,
         }
     }
 }
@@ -171,17 +184,34 @@ impl<M: ProtocolMsg> HistoryClient<M> {
         &self.ops
     }
 
+    /// Remaps `key` onto the configured hot shard: each base key owns a
+    /// disjoint window of 256 candidates, and the first candidate the
+    /// router assigns to the hot shard wins. Deterministic, and distinct
+    /// base keys collide only with vanishing probability (a miss needs
+    /// 256 consecutive hash misses); the verdict is collision-safe
+    /// anyway — shared keys just share a per-key order.
+    fn pin_hot(&self, key: Key) -> Key {
+        let Some((shard, shards)) = self.cfg.hot_shard else {
+            return key;
+        };
+        let router = ShardRouter::new(shards);
+        let base = key * 256;
+        (base..base + 256)
+            .find(|&k| router.shard_of_key(k) == shard)
+            .unwrap_or(base)
+    }
+
     fn own_key(&self, j: u64) -> Key {
-        1 + self.index as u64 * self.cfg.keys_per_client + j
+        self.pin_hot(1 + self.index as u64 * self.cfg.keys_per_client + j)
     }
 
     fn peer_key(&self, j: u64) -> Key {
         let peer = (self.index + 1) % self.total;
-        1 + peer as u64 * self.cfg.keys_per_client + j
+        self.pin_hot(1 + peer as u64 * self.cfg.keys_per_client + j)
     }
 
     fn probe_key(&self, j: u64) -> Key {
-        PROBE_KEY_BASE + self.index as u64 * self.cfg.keys_per_client + j
+        self.pin_hot(PROBE_KEY_BASE + self.index as u64 * self.cfg.keys_per_client + j)
     }
 
     fn issue(&mut self, ctx: &mut Context<'_, M>) {
@@ -215,7 +245,22 @@ impl<M: ProtocolMsg> HistoryClient<M> {
                 }
             }
         };
-        let op = if is_write {
+        // Every n-th steady-state write becomes a multi-key transaction
+        // over all of this client's own keys (same tag on every key, so
+        // reads of any key map back to this op).
+        let multi = is_write
+            && !probing
+            && self.cfg.multi_put_every > 0
+            && c.is_multiple_of(self.cfg.multi_put_every)
+            && self.cfg.keys_per_client > 1;
+        let op = if multi {
+            let value = encode_tag(ctx.id(), op_id);
+            Op::MultiPut {
+                puts: (0..self.cfg.keys_per_client)
+                    .map(|j| (self.own_key(j), value.clone()))
+                    .collect(),
+            }
+        } else if is_write {
             Op::Put {
                 key,
                 value: encode_tag(ctx.id(), op_id),
@@ -325,43 +370,90 @@ pub trait ChaosProtocol: ProtocolMsg + Sized + 'static {
     fn global_log(process: &dyn Any) -> Option<Vec<(NodeId, u64)>>;
 }
 
+/// Folds one Canopus node's committed log into per-key write records
+/// (shared by the plain and sharded extractions — a sharded engine merges
+/// this across every hosted LOT instance).
+fn canopus_write_records_into(n: &CanopusNode, out: &mut BTreeMap<Key, Vec<(NodeId, u64, Time)>>) {
+    for cc in n.committed_log() {
+        for set in &cc.sets {
+            for op in &set.ops {
+                match op {
+                    CommittedOp::Put {
+                        client, op_id, key, ..
+                    } => {
+                        out.entry(*key).or_default().push((*client, *op_id, cc.at));
+                    }
+                    CommittedOp::MultiPut {
+                        client,
+                        op_id,
+                        keys,
+                    } => {
+                        for key in keys {
+                            out.entry(*key).or_default().push((*client, *op_id, cc.at));
+                        }
+                    }
+                    CommittedOp::Synthetic { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+/// One Canopus node's total committed order as `(client, op_id)` pairs.
+fn canopus_global_log(n: &CanopusNode) -> Vec<(NodeId, u64)> {
+    n.committed_log()
+        .iter()
+        .flat_map(|cc| {
+            cc.sets.iter().flat_map(|s| {
+                s.ops.iter().map(|op| match *op {
+                    CommittedOp::Put { client, op_id, .. }
+                    | CommittedOp::Synthetic { client, op_id, .. }
+                    | CommittedOp::MultiPut { client, op_id, .. } => (client, op_id),
+                })
+            })
+        })
+        .collect()
+}
+
 impl ChaosProtocol for CanopusMsg {
     const NAME: &'static str = "canopus";
     const LINEARIZABLE_READS: bool = true;
 
     fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
-        let mut out: BTreeMap<Key, Vec<(NodeId, u64, Time)>> = BTreeMap::new();
-        let n = process.downcast_ref::<CanopusNode>().expect("canopus node");
-        for cc in n.committed_log() {
-            for set in &cc.sets {
-                for op in &set.ops {
-                    if let CommittedOp::Put {
-                        client, op_id, key, ..
-                    } = *op
-                    {
-                        out.entry(key).or_default().push((client, op_id, cc.at));
-                    }
-                }
-            }
-        }
+        let mut out = BTreeMap::new();
+        canopus_write_records_into(
+            process.downcast_ref::<CanopusNode>().expect("canopus node"),
+            &mut out,
+        );
         out
     }
 
     fn global_log(process: &dyn Any) -> Option<Vec<(NodeId, u64)>> {
         let n = process.downcast_ref::<CanopusNode>().expect("canopus node");
-        Some(
-            n.committed_log()
-                .iter()
-                .flat_map(|cc| {
-                    cc.sets.iter().flat_map(|s| {
-                        s.ops.iter().map(|op| match *op {
-                            CommittedOp::Put { client, op_id, .. }
-                            | CommittedOp::Synthetic { client, op_id, .. } => (client, op_id),
-                        })
-                    })
-                })
-                .collect(),
-        )
+        Some(canopus_global_log(n))
+    }
+}
+
+impl ChaosProtocol for ShardMsg {
+    const NAME: &'static str = "canopus_sharded";
+    const LINEARIZABLE_READS: bool = true;
+
+    /// Per-key records merged across every hosted shard: keys are
+    /// disjoint across shards (the router is a pure function of the key),
+    /// so the merge never interleaves two shards' orders on one key.
+    fn write_records(process: &dyn Any) -> BTreeMap<Key, Vec<(NodeId, u64, Time)>> {
+        let e = process.downcast_ref::<ShardEngine>().expect("shard engine");
+        let mut out = BTreeMap::new();
+        for s in 0..e.shard_count() {
+            canopus_write_records_into(e.shard(s), &mut out);
+        }
+        out
+    }
+
+    /// No cross-shard total order is promised — each shard totally orders
+    /// its own traffic; the sharded extras check per-shard agreement.
+    fn global_log(_process: &dyn Any) -> Option<Vec<(NodeId, u64)>> {
+        None
     }
 }
 
@@ -697,6 +789,127 @@ pub fn chaos_verdict_parts<M: ChaosProtocol>(
 }
 
 // ---------------------------------------------------------------------
+// Sharded verdict
+// ---------------------------------------------------------------------
+
+/// The sharding-specific safety checks, layered on top of the base
+/// verdict: per-shard total-order agreement (the sharded engine promises
+/// a total order *within* each shard, not across them), key→shard routing
+/// stability (every committed key lives on the shard the router maps it
+/// to — a drifting hash would silently split a key's history), and
+/// cross-shard atomicity (a multi-key transaction's parts land on every
+/// trusted replica all-or-nothing).
+fn sharded_verdict_extras(trusted: &[(NodeId, &dyn Any)]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let engines: Vec<(NodeId, &ShardEngine)> = trusted
+        .iter()
+        .map(|&(n, p)| (n, p.downcast_ref::<ShardEngine>().expect("shard engine")))
+        .collect();
+    let Some(&(_, first)) = engines.first() else {
+        return violations;
+    };
+    let shards = first.shard_count();
+    let router = first.router();
+
+    // Per-shard agreement: each shard's log is a totally ordered
+    // mini-Canopus; all trusted replicas must agree on its prefix.
+    for s in 0..shards {
+        let logs: Vec<Vec<(NodeId, u64)>> = engines
+            .iter()
+            .map(|&(_, e)| canopus_global_log(e.shard(s)))
+            .collect();
+        if let Err(d) = check_agreement(&logs) {
+            violations.push(format!(
+                "shard {s} commit order diverged at index {} (replica {:?})",
+                d.index, engines[d.replica].0
+            ));
+        }
+    }
+
+    // Routing stability + cross-shard transaction key sets, one walk.
+    let mut per_engine: Vec<(NodeId, BTreeMap<(NodeId, u64), BTreeSet<Key>>)> = Vec::new();
+    let mut full: BTreeMap<(NodeId, u64), BTreeSet<Key>> = BTreeMap::new();
+    for &(node, e) in &engines {
+        let mut txns: BTreeMap<(NodeId, u64), BTreeSet<Key>> = BTreeMap::new();
+        for s in 0..shards {
+            for cc in e.shard(s).committed_log() {
+                for set in &cc.sets {
+                    for op in &set.ops {
+                        let keys: &[Key] = match op {
+                            CommittedOp::Put { key, .. } => std::slice::from_ref(key),
+                            CommittedOp::MultiPut { keys, .. } => keys,
+                            CommittedOp::Synthetic { .. } => &[],
+                        };
+                        for &key in keys {
+                            if router.shard_of_key(key) != s {
+                                violations.push(format!(
+                                    "key {key} committed on shard {s} of node {node} but \
+                                     routes to shard {}",
+                                    router.shard_of_key(key)
+                                ));
+                            }
+                        }
+                        if let CommittedOp::MultiPut {
+                            client,
+                            op_id,
+                            keys,
+                        } = op
+                        {
+                            txns.entry((*client, *op_id))
+                                .or_default()
+                                .extend(keys.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+        for (t, keys) in &txns {
+            full.entry(*t).or_default().extend(keys.iter().copied());
+        }
+        per_engine.push((node, txns));
+    }
+
+    // All-or-nothing: a replica that committed *any* part of a
+    // transaction must have committed every part some trusted replica
+    // saw. The run leaves 300 ms of virtual drain after clients stop, so
+    // a lingering half-applied transaction is a protocol bug, not tail
+    // latency.
+    for (node, txns) in &per_engine {
+        for (t, keys) in txns {
+            let want = &full[t];
+            if keys != want {
+                violations.push(format!(
+                    "cross-shard txn (client {:?}, op {}) partially applied on node \
+                     {node}: {} of {} keys",
+                    t.0,
+                    t.1,
+                    keys.len(),
+                    want.len()
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// [`chaos_verdict`] plus the sharding extras: per-shard agreement,
+/// routing stability, and cross-shard atomicity.
+pub fn chaos_verdict_sharded(
+    cluster: &Cluster<ShardMsg>,
+    converge_after: Time,
+    convergence_exempt: &BTreeSet<NodeId>,
+) -> ChaosReport {
+    let mut report = chaos_verdict::<ShardMsg>(cluster, converge_after, convergence_exempt);
+    let trusted: Vec<(NodeId, &dyn Any)> = cluster
+        .trusted_nodes()
+        .iter()
+        .map(|&n| (n, cluster.sim.node_any(n)))
+        .collect();
+    report.violations.extend(sharded_verdict_extras(&trusted));
+    report
+}
+
+// ---------------------------------------------------------------------
 // Chaos cluster builders
 // ---------------------------------------------------------------------
 
@@ -763,6 +976,27 @@ pub fn chaos_canopus_batched(
     crate::cluster::build_canopus_with(
         spec,
         cfg,
+        seed,
+        history_clients(spec.node_count(), hcfg.clone()),
+        chaos_obs(),
+    )
+}
+
+/// A shard-parallel Canopus cluster driven by history clients: every
+/// node hosts `shards` independent LOT pipelines behind a
+/// [`ShardEngine`], and the verdict for it is [`chaos_verdict_sharded`].
+pub fn chaos_sharded_canopus(
+    spec: &crate::spec::DeploymentSpec,
+    hcfg: &HistoryConfig,
+    seed: u64,
+    shards: u16,
+) -> Cluster<ShardMsg> {
+    let mut cfg = crate::cluster::canopus_config_for(spec);
+    cfg.record_log = true;
+    crate::cluster::build_sharded_canopus_with(
+        spec,
+        |_| cfg.clone(),
+        shards,
         seed,
         history_clients(spec.node_count(), hcfg.clone()),
         chaos_obs(),

@@ -20,15 +20,17 @@ pub mod spec;
 pub mod table;
 
 pub use cluster::{
-    build_canopus, build_canopus_obs, build_canopus_with, build_custom, build_epaxos,
-    build_epaxos_with, build_raftkv, build_raftkv_with, build_zab, build_zab_with,
+    build_canopus, build_canopus_obs, build_canopus_with, build_custom, build_custom_cfg,
+    build_epaxos, build_epaxos_with, build_raftkv, build_raftkv_with, build_sharded_canopus,
+    build_sharded_canopus_obs, build_sharded_canopus_with, build_zab, build_zab_with,
     canopus_config_for, emulation_table_for, ChaosFabric, Cluster, ClusterObs, RestartFactory,
     SilentNode,
 };
 pub use history::{
     chaos_canopus, chaos_canopus_batched, chaos_canopus_with_obs, chaos_epaxos, chaos_raftkv,
-    chaos_verdict, chaos_verdict_parts, chaos_zab, decode_tag, encode_tag, ChaosProtocol,
-    ChaosReport, ClientHistory, HistoryClient, HistoryConfig, HistoryOp, CHAOS_FLIGHT_CAP,
+    chaos_sharded_canopus, chaos_verdict, chaos_verdict_parts, chaos_verdict_sharded, chaos_zab,
+    decode_tag, encode_tag, ChaosProtocol, ChaosReport, ClientHistory, HistoryClient,
+    HistoryConfig, HistoryOp, CHAOS_FLIGHT_CAP,
 };
 pub use live::{
     live_canopus_config, live_chaos_canopus, live_chaos_canopus_batched, live_chaos_raftkv,
@@ -43,7 +45,9 @@ pub use run::{
     RunResult, SearchResult, SearchSpec,
 };
 pub use scenarios::{
-    all_scenarios, partition_then_crash_restart, ChaosScenario, ChaosTimeline, ChaosTopology,
+    all_scenarios, catalog_fingerprint, cross_shard_atomicity_partition, hot_shard_skew,
+    partition_then_crash_restart, sharded_scenarios, ChaosScenario, ChaosTimeline, ChaosTopology,
+    CATALOG_VERSION,
 };
 pub use spec::{DeploymentSpec, LoadSpec, TopoSpec};
 pub use table::{fmt_dur, fmt_rate, render_table};

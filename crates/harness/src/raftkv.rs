@@ -415,6 +415,17 @@ impl RaftKvNode {
                 }
                 Op::Get { key } => OpResult::Value(self.store.get_value(*key)),
                 Op::SyntheticWrite { .. } | Op::SyntheticRead { .. } => OpResult::Batch,
+                Op::MultiPut { puts } => {
+                    for (key, value) in puts {
+                        self.store.put(*key, value.clone());
+                        self.write_log.entry(*key).or_default().push((
+                            req.client,
+                            req.op_id,
+                            ctx.now(),
+                        ));
+                    }
+                    OpResult::Written
+                }
             };
             if origin == self.me && !self.replayed.contains(&(req.client, req.op_id)) {
                 self.stats.own_completed += weight as u64;

@@ -251,11 +251,10 @@ pub fn node_isolated(_topo: &ChaosTopology, t: &ChaosTimeline) -> ChaosScenario 
 
 /// A super-leaf partition followed, after the network heals, by a
 /// crash-restart of the bootstrap node — the two classic timelines
-/// stacked into one run. Built for the batched/pipelined Canopus
-/// configuration, which must survive the back-to-back faults with the
-/// same verdict as the default configuration; it is not part of
-/// [`all_scenarios`] (the per-protocol sweeps keep their original
-/// catalog and trace hashes).
+/// stacked into one run. Originally built for the batched/pipelined
+/// Canopus configuration only; since catalog v2 it is part of
+/// [`all_scenarios`], so every protocol sweep exercises the stacked
+/// faults (the catalog pin below versions that change).
 pub fn partition_then_crash_restart(topo: &ChaosTopology, t: &ChaosTimeline) -> ChaosScenario {
     let w = t.window();
     ChaosScenario {
@@ -276,7 +275,64 @@ pub fn partition_then_crash_restart(topo: &ChaosTopology, t: &ChaosTimeline) -> 
     }
 }
 
-/// Every scenario in the catalog.
+/// Uniform background loss while the workload concentrates on one shard
+/// (the sharded chaos suite pairs this plan with a hot-shard
+/// [`crate::history::HistoryConfig`]): the hot shard's pipeline runs at
+/// full linger-free cadence while loss forces Raft re-broadcasts, so any
+/// cross-shard interference in the engine's multiplexing shows up as a
+/// verdict failure on the *cold* shards.
+pub fn hot_shard_skew(_topo: &ChaosTopology, t: &ChaosTimeline) -> ChaosScenario {
+    ChaosScenario {
+        name: "hot_shard_skew",
+        plan: FaultPlan::new()
+            .at(t.fault_at, FaultEvent::SetLoss(0.12))
+            .at(t.heal_at, FaultEvent::HealAll),
+        exempt: no_exemptions(),
+    }
+}
+
+/// Two back-to-back partitions along *different* super-leaf boundaries.
+/// Paired with multi-key transaction traffic, this stresses the anchor
+/// shard protocol: a transaction's parts can straddle both cuts, and
+/// atomicity (all-or-nothing on every trusted replica) must survive the
+/// boundary shift.
+pub fn cross_shard_atomicity_partition(topo: &ChaosTopology, t: &ChaosTimeline) -> ChaosScenario {
+    let w = t.window();
+    ChaosScenario {
+        name: "cross_shard_atomicity_partition",
+        plan: FaultPlan::new()
+            .at(
+                t.fault_at,
+                FaultEvent::CutGroups {
+                    a: topo.leaf(0),
+                    b: topo.leaves(1..topo.groups),
+                },
+            )
+            .at(t.fault_at + w / 2, FaultEvent::HealAll)
+            .at(
+                t.fault_at + (w * 4) / 7,
+                FaultEvent::CutGroups {
+                    a: topo.leaves(0..topo.groups - 1),
+                    b: topo.leaf(topo.groups - 1),
+                },
+            )
+            .at(t.heal_at, FaultEvent::HealAll),
+        exempt: no_exemptions(),
+    }
+}
+
+/// Version of the scenario catalog. Bumped whenever [`all_scenarios`]
+/// changes membership or any scenario's schedule changes — the pinned
+/// catalog hash below (and the trace-hash pins in the chaos suites) are
+/// valid only for a specific version.
+///
+/// * v1 — PR 2's seven-scenario catalog.
+/// * v2 — folds `partition_then_crash_restart` into the sweep; adds the
+///   sharded-suite scenarios (`hot_shard_skew`,
+///   `cross_shard_atomicity_partition`) as named extras.
+pub const CATALOG_VERSION: u32 = 2;
+
+/// Every scenario in the per-protocol sweep catalog.
 pub fn all_scenarios(topo: &ChaosTopology, t: &ChaosTimeline) -> Vec<ChaosScenario> {
     vec![
         superleaf_partition(topo, t),
@@ -286,7 +342,42 @@ pub fn all_scenarios(topo: &ChaosTopology, t: &ChaosTimeline) -> Vec<ChaosScenar
         asymmetric_loss(topo, t),
         link_flapping(topo, t),
         node_isolated(topo, t),
+        partition_then_crash_restart(topo, t),
     ]
+}
+
+/// The sharded chaos suite's extra scenarios (run against the
+/// shard-parallel engine with skewed / multi-key traffic, on top of the
+/// shared catalog).
+pub fn sharded_scenarios(topo: &ChaosTopology, t: &ChaosTimeline) -> Vec<ChaosScenario> {
+    vec![
+        hot_shard_skew(topo, t),
+        cross_shard_atomicity_partition(topo, t),
+    ]
+}
+
+/// A stable fingerprint of the catalog's names and fault schedules for
+/// the default sim topology/timeline: FNV-1a over each scenario's name
+/// and rendered event timeline. Pinned by a test so membership or
+/// schedule drift forces an explicit [`CATALOG_VERSION`] bump.
+pub fn catalog_fingerprint(topo: &ChaosTopology, t: &ChaosTimeline) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for sc in all_scenarios(topo, t)
+        .iter()
+        .chain(sharded_scenarios(topo, t).iter())
+    {
+        eat(sc.name.as_bytes());
+        for (at, action) in sc.plan.timeline(Time::ZERO, t.run_for) {
+            eat(format!("@{}:{action:?}", at.as_millis()).as_bytes());
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -326,6 +417,21 @@ mod tests {
             .timeline(Time::ZERO, t.run_for)
             .iter()
             .any(|(_, a)| matches!(a, FaultAction::SetNodeOutLoss(NodeId(4), _))));
+    }
+
+    /// The catalog is versioned: any change to sweep membership or a
+    /// scenario's fault schedule must bump [`CATALOG_VERSION`] and re-pin
+    /// this fingerprint (and re-derive the chaos suites' trace hashes).
+    #[test]
+    fn catalog_v2_fingerprint_is_pinned() {
+        assert_eq!(CATALOG_VERSION, 2);
+        let topo = ChaosTopology::sim_default();
+        let t = ChaosTimeline::sim_default();
+        assert_eq!(
+            catalog_fingerprint(&topo, &t),
+            0x22bf_b69b_05bf_f154,
+            "catalog drifted: bump CATALOG_VERSION and re-pin"
+        );
     }
 
     #[test]

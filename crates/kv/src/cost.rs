@@ -23,6 +23,16 @@ pub struct CostModel {
     /// Cost to persist one proposal batch to the log (0 = in-memory
     /// filesystem as in the paper's §8.1; ~100-500 us models an SSD fsync).
     pub storage_per_batch: Dur,
+    /// Fixed cost to ingest an aggregated request (`SyntheticWrite` /
+    /// `SyntheticRead` with weight > 1): one parse, one enqueue, one
+    /// bookkeeping entry regardless of how many logical ops it stands for.
+    pub per_request_batch: Dur,
+    /// Marginal cost per logical op represented inside an aggregate. A
+    /// synthetic batch decodes in O(1) (two integers), so the marginal
+    /// cost is reply/latency accounting, not parsing — an order of
+    /// magnitude below `per_request` (see `benches/micro.rs`,
+    /// `ingest_amortization`).
+    pub per_batched_op: Dur,
 }
 
 impl Default for CostModel {
@@ -33,6 +43,25 @@ impl Default for CostModel {
             per_read: Dur::nanos(800),
             per_protocol_msg: Dur::micros(2),
             storage_per_batch: Dur::ZERO,
+            per_request_batch: Dur::nanos(1500),
+            per_batched_op: Dur::nanos(120),
+        }
+    }
+}
+
+impl CostModel {
+    /// CPU cost to ingest one client request of the given weight.
+    ///
+    /// Weight-1 requests (real `Put`/`Get`) pay the full per-request cost.
+    /// Aggregates pay a fixed batch cost plus a small per-op marginal,
+    /// capped at the same 4096-op accounting ceiling the commit path uses,
+    /// so ingest no longer charges a full parse per logical op that was
+    /// never individually parsed.
+    pub fn ingest_cost(&self, weight: u32) -> Dur {
+        if weight <= 1 {
+            self.per_request
+        } else {
+            self.per_request_batch + self.per_batched_op * u64::from(weight.min(4096))
         }
     }
 }
@@ -48,5 +77,17 @@ mod tests {
         assert!(!c.per_commit.is_zero());
         assert!(!c.per_read.is_zero());
         assert!(c.storage_per_batch.is_zero());
+    }
+
+    #[test]
+    fn ingest_is_amortized_for_aggregates() {
+        let c = CostModel::default();
+        assert_eq!(c.ingest_cost(1), c.per_request);
+        // A 500-op aggregate must cost far less than 500 individual parses.
+        assert!(c.ingest_cost(500) < c.per_request * 500);
+        // But still more than a single request: the batch isn't free.
+        assert!(c.ingest_cost(500) > c.per_request);
+        // The per-op marginal saturates at the 4096 accounting cap.
+        assert_eq!(c.ingest_cost(10_000), c.ingest_cost(4096));
     }
 }

@@ -51,13 +51,24 @@ pub enum Op {
         /// Number of client requests this batch represents.
         count: u32,
     },
+    /// An atomic multi-key write. In sharded deployments the touched keys
+    /// may live on different shards; the anchor-shard protocol sequences
+    /// the transaction in every touched shard's LOT and commits it
+    /// all-or-nothing (see `canopus-core`'s `ShardEngine`).
+    MultiPut {
+        /// The writes, in client order. Must be non-empty.
+        puts: Vec<(Key, Bytes)>,
+    },
 }
 
 impl Op {
     /// Whether this operation mutates state (and must be ordered by
     /// consensus; reads are served locally in Canopus).
     pub fn is_write(&self) -> bool {
-        matches!(self, Op::Put { .. } | Op::SyntheticWrite { .. })
+        matches!(
+            self,
+            Op::Put { .. } | Op::SyntheticWrite { .. } | Op::MultiPut { .. }
+        )
     }
 
     /// The number of client requests this operation represents.
@@ -65,6 +76,7 @@ impl Op {
         match self {
             Op::Put { .. } | Op::Get { .. } => 1,
             Op::SyntheticWrite { count, .. } | Op::SyntheticRead { count } => *count,
+            Op::MultiPut { .. } => 1,
         }
     }
 
@@ -75,6 +87,7 @@ impl Op {
             Op::Get { .. } => 8,
             Op::SyntheticWrite { count, op_bytes } => *count as usize * *op_bytes as usize,
             Op::SyntheticRead { count } => *count as usize * 8,
+            Op::MultiPut { puts } => puts.iter().map(|(_, v)| 8 + v.len()).sum(),
         }
     }
 }
@@ -100,6 +113,10 @@ impl Wire for Op {
                 3u8.encode(buf);
                 count.encode(buf);
             }
+            Op::MultiPut { puts } => {
+                4u8.encode(buf);
+                puts.encode(buf);
+            }
         }
     }
 
@@ -118,6 +135,9 @@ impl Wire for Op {
             }),
             3 => Ok(Op::SyntheticRead {
                 count: u32::decode(buf)?,
+            }),
+            4 => Ok(Op::MultiPut {
+                puts: Vec::<(Key, Bytes)>::decode(buf)?,
             }),
             _ => Err(WireError::Invalid("op tag")),
         }
@@ -313,8 +333,24 @@ mod tests {
                 op_bytes: 16,
             },
             Op::SyntheticRead { count: 1 },
+            Op::MultiPut {
+                puts: vec![(3, Bytes::from_static(b"abc")), (u64::MAX, Bytes::new())],
+            },
         ] {
             assert_eq!(Op::from_bytes(op.to_bytes()).unwrap(), op);
         }
+    }
+
+    #[test]
+    fn multi_put_classification() {
+        let op = Op::MultiPut {
+            puts: vec![
+                (1, Bytes::from_static(b"12345678")),
+                (2, Bytes::from_static(b"12345678")),
+            ],
+        };
+        assert!(op.is_write());
+        assert_eq!(op.weight(), 1, "one client request, many keys");
+        assert_eq!(op.payload_bytes(), 32);
     }
 }

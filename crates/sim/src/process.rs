@@ -72,6 +72,17 @@ pub trait Payload: fmt::Debug + 'static {
     fn kind(&self) -> &'static str {
         "msg"
     }
+
+    /// Which CPU lane of a multi-lane node should handle this message.
+    ///
+    /// The kernel reduces the hint modulo the destination's configured
+    /// lane count, so implementations return a stable raw value (a shard
+    /// id, a key hash) without knowing the deployment's lane count. On
+    /// the default single-lane nodes the hint is irrelevant — everything
+    /// maps to lane 0 — so the default of 0 preserves existing behavior.
+    fn lane_hint(&self) -> u64 {
+        0
+    }
 }
 
 /// One effect recorded by a process during a callback.
@@ -116,6 +127,7 @@ pub struct Context<'a, M> {
     pub(crate) effects: Vec<Effect<M>>,
     pub(crate) charged: Dur,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) lane: u64,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -135,6 +147,7 @@ impl<'a, M> Context<'a, M> {
             effects: Vec::new(),
             charged: Dur::ZERO,
             next_timer_id,
+            lane: 0,
         }
     }
 
@@ -187,6 +200,16 @@ impl<'a, M> Context<'a, M> {
     /// charge, which is how CPU saturation manifests in experiments.
     pub fn charge(&mut self, cost: Dur) {
         self.charged += cost;
+    }
+
+    /// Directs this callback's CPU charge at lane `hint % lanes` of a
+    /// multi-lane node instead of the default lane 0. Message deliveries
+    /// pick their lane from [`Payload::lane_hint`] before the handler
+    /// runs (so queuing happens on the right lane); timer and start
+    /// callbacks call this to co-locate their charge with the shard the
+    /// work belongs to. A no-op on single-lane nodes.
+    pub fn use_lane(&mut self, hint: u64) {
+        self.lane = hint;
     }
 }
 
@@ -249,6 +272,7 @@ mod tests {
             effects: Vec::new(),
             charged: Dur::ZERO,
             next_timer_id: &mut next_timer,
+            lane: 0,
         };
         ctx.send(NodeId(1), 42);
         let t = ctx.set_timer(Dur::millis(5), 7);
@@ -286,6 +310,7 @@ mod tests {
             effects: Vec::new(),
             charged: Dur::ZERO,
             next_timer_id: &mut next_timer,
+            lane: 0,
         };
         let a = ctx.set_timer(Dur::millis(1), 0);
         let b = ctx.set_timer(Dur::millis(1), 0);

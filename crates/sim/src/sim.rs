@@ -41,6 +41,13 @@ pub struct NodeConfig {
     /// what makes large fan-outs — a Zab leader informing observers, an
     /// EPaxos replica broadcasting commits — cost real processor time.
     pub per_send_cost: Dur,
+    /// Independent CPU lanes (cores) this node schedules work across.
+    /// Deliveries queue per lane ([`Payload::lane_hint`] modulo this
+    /// count), so a node hosting N shard pipelines with N lanes models a
+    /// core per shard; timers charge the lane the callback selects via
+    /// [`Context::use_lane`] (lane 0 by default). With 1 lane — the
+    /// default — the kernel behaves exactly as the single-core model.
+    pub lanes: u32,
 }
 
 impl Default for NodeConfig {
@@ -50,7 +57,16 @@ impl Default for NodeConfig {
         NodeConfig {
             base_msg_cost: Dur::micros(1),
             per_send_cost: Dur::nanos(500),
+            lanes: 1,
         }
+    }
+}
+
+impl NodeConfig {
+    /// The same cost model spread over `lanes` CPU lanes.
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes.max(1);
+        self
     }
 }
 
@@ -137,6 +153,7 @@ enum EventKind<M> {
     },
     Drain {
         node: NodeId,
+        lane: u32,
     },
 }
 
@@ -163,13 +180,29 @@ impl<M> Ord for EventEntry<M> {
     }
 }
 
+/// One CPU lane of a node: its busy watermark and the deliveries queued
+/// behind it.
+struct Lane<M> {
+    busy_until: Time,
+    pending: VecDeque<(NodeId, M)>,
+    drain_scheduled: bool,
+}
+
+impl<M> Lane<M> {
+    fn idle(at: Time) -> Self {
+        Lane {
+            busy_until: at,
+            pending: VecDeque::new(),
+            drain_scheduled: false,
+        }
+    }
+}
+
 struct NodeSlot<M> {
     process: Option<Box<dyn Process<M>>>,
     alive: bool,
     epoch: u32,
-    busy_until: Time,
-    pending: VecDeque<(NodeId, M)>,
-    drain_scheduled: bool,
+    lanes: Vec<Lane<M>>,
     cfg: NodeConfig,
 }
 
@@ -275,16 +308,17 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
     /// Adds a node with an explicit config; `on_start` runs immediately.
     pub fn add_node_with(&mut self, process: Box<dyn Process<M>>, cfg: NodeConfig) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        let lanes = (0..cfg.lanes.max(1))
+            .map(|_| Lane::idle(self.time))
+            .collect();
         self.nodes.push(NodeSlot {
             process: Some(process),
             alive: true,
             epoch: 0,
-            busy_until: self.time,
-            pending: VecDeque::new(),
-            drain_scheduled: false,
+            lanes,
             cfg,
         });
-        self.run_callback(id, CallbackKind::Start, self.time);
+        self.run_callback(id, CallbackKind::Start, self.time, None);
         id
     }
 
@@ -371,7 +405,9 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
         let slot = &mut self.nodes[id.index()];
         slot.alive = false;
         slot.epoch += 1;
-        slot.pending.clear();
+        for lane in &mut slot.lanes {
+            lane.pending.clear();
+        }
     }
 
     /// Takes the crashed process out of a dead node's slot, if it is still
@@ -393,9 +429,11 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
         assert!(!slot.alive, "restart of a live node");
         slot.process = Some(process);
         slot.alive = true;
-        slot.busy_until = self.time;
-        slot.drain_scheduled = false;
-        self.run_callback(id, CallbackKind::Start, self.time);
+        let now = self.time;
+        for lane in &mut slot.lanes {
+            *lane = Lane::idle(now);
+        }
+        self.run_callback(id, CallbackKind::Start, self.time, None);
     }
 
     /// Injects a message from [`EXTERNAL`] directly to `to` after `delay`,
@@ -463,8 +501,9 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
                     self.stats.msgs_dropped += 1;
                     return;
                 }
-                slot.pending.push_back((from, msg));
-                self.try_drain(to, at);
+                let lane = (msg.lane_hint() % slot.lanes.len() as u64) as u32;
+                slot.lanes[lane as usize].pending.push_back((from, msg));
+                self.try_drain(to, lane, at);
             }
             EventKind::Timer {
                 node,
@@ -480,36 +519,37 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
                     return; // armed before a crash
                 }
                 self.trace_mix(2, node.0 as u64, at.as_nanos(), token);
-                self.run_callback(node, CallbackKind::Timer(Timer { id, token }), at);
+                self.run_callback(node, CallbackKind::Timer(Timer { id, token }), at, None);
             }
-            EventKind::Drain { node } => {
-                self.nodes[node.index()].drain_scheduled = false;
-                self.try_drain(node, at);
+            EventKind::Drain { node, lane } => {
+                self.nodes[node.index()].lanes[lane as usize].drain_scheduled = false;
+                self.try_drain(node, lane, at);
             }
         }
     }
 
-    /// Handles as many queued messages as the node's CPU allows at `now`,
-    /// scheduling a future drain if work remains.
-    fn try_drain(&mut self, node: NodeId, now: Time) {
+    /// Handles as many queued messages as one lane of the node's CPU
+    /// allows at `now`, scheduling a future drain if work remains.
+    fn try_drain(&mut self, node: NodeId, lane: u32, now: Time) {
         loop {
             let slot = &mut self.nodes[node.index()];
+            let l = &mut slot.lanes[lane as usize];
             if !slot.alive {
-                slot.pending.clear();
+                l.pending.clear();
                 return;
             }
-            if slot.pending.is_empty() {
+            if l.pending.is_empty() {
                 return;
             }
-            if slot.busy_until > now {
-                if !slot.drain_scheduled {
-                    slot.drain_scheduled = true;
-                    let at = slot.busy_until;
-                    self.push_event(at, EventKind::Drain { node });
+            if l.busy_until > now {
+                if !l.drain_scheduled {
+                    l.drain_scheduled = true;
+                    let at = l.busy_until;
+                    self.push_event(at, EventKind::Drain { node, lane });
                 }
                 return;
             }
-            let (from, msg) = slot.pending.pop_front().expect("checked non-empty");
+            let (from, msg) = l.pending.pop_front().expect("checked non-empty");
             if let Some(tracer) = self.tracer.as_mut() {
                 tracer(&TraceEvent::Deliver {
                     from,
@@ -525,11 +565,15 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
                 now.as_nanos(),
                 msg.wire_size() as u64,
             );
-            self.run_callback(node, CallbackKind::Message(from, msg), now);
+            self.run_callback(node, CallbackKind::Message(from, msg), now, Some(lane));
         }
     }
 
-    fn run_callback(&mut self, node: NodeId, kind: CallbackKind<M>, now: Time) {
+    /// Runs one process callback and charges its CPU cost to a lane:
+    /// message deliveries charge the lane they queued on (`lane`), while
+    /// timer/start callbacks charge the lane the callback selected via
+    /// [`Context::use_lane`] (lane 0 unless overridden).
+    fn run_callback(&mut self, node: NodeId, kind: CallbackKind<M>, now: Time, lane: Option<u32>) {
         let mut process = match self.nodes[node.index()].process.take() {
             Some(p) => p,
             None => return,
@@ -541,6 +585,7 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
             effects: Vec::new(),
             charged: Dur::ZERO,
             next_timer_id: &mut self.next_timer_id,
+            lane: 0,
         };
         match kind {
             CallbackKind::Start => process.on_start(&mut ctx),
@@ -549,18 +594,21 @@ impl<M: Payload, F: Fabric<M>> Simulation<M, F> {
         }
         let effects = std::mem::take(&mut ctx.effects);
         let charged = ctx.charged;
+        let lane_hint = ctx.lane;
         let slot = &mut self.nodes[node.index()];
         slot.process = Some(process);
         let sends = effects
             .iter()
             .filter(|e| matches!(e, Effect::Send { .. }))
             .count() as u64;
-        let start = if slot.busy_until > now {
-            slot.busy_until
+        let lane = lane.unwrap_or((lane_hint % slot.lanes.len() as u64) as u32);
+        let l = &mut slot.lanes[lane as usize];
+        let start = if l.busy_until > now {
+            l.busy_until
         } else {
             now
         };
-        slot.busy_until = start + slot.cfg.base_msg_cost + charged + slot.cfg.per_send_cost * sends;
+        l.busy_until = start + slot.cfg.base_msg_cost + charged + slot.cfg.per_send_cost * sends;
         let epoch = slot.epoch;
 
         for effect in effects {
@@ -799,6 +847,120 @@ mod tests {
         // Each message handled ~1ms (charge) + 1us (base) after the previous.
         assert!(handled[1] - handled[0] >= Dur::millis(1));
         assert!(handled[2] - handled[1] >= Dur::millis(1));
+    }
+
+    /// Message that names a CPU lane directly.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Laned(u64);
+
+    impl Payload for Laned {
+        fn wire_size(&self) -> usize {
+            8
+        }
+        fn lane_hint(&self) -> u64 {
+            self.0
+        }
+    }
+
+    struct SlowLaned {
+        handled: Vec<(Time, u64)>,
+    }
+
+    impl Process<Laned> for SlowLaned {
+        fn on_message(&mut self, _from: NodeId, msg: Laned, ctx: &mut Context<'_, Laned>) {
+            self.handled.push((ctx.now(), msg.0));
+            ctx.charge(Dur::millis(1));
+        }
+        impl_process_any!();
+    }
+
+    #[test]
+    fn lanes_run_hinted_messages_concurrently() {
+        let mut sim: Simulation<Laned, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        let a = sim.add_node_with(
+            Box::new(SlowLaned {
+                handled: Vec::new(),
+            }),
+            NodeConfig::default().with_lanes(2),
+        );
+        // Two heavy messages on different lanes, then one more per lane.
+        for hint in [0u64, 1, 2, 3] {
+            sim.inject(a, Laned(hint), Dur::ZERO);
+        }
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let handled = &sim.node::<SlowLaned>(a).handled;
+        assert_eq!(handled.len(), 4);
+        // Hints 0 and 1 land on distinct lanes and start immediately; the
+        // 1ms charge from hint 0 must not delay hint 1.
+        let t = |hint: u64| handled.iter().find(|(_, h)| *h == hint).unwrap().0;
+        assert!(t(1) < Time::ZERO + Dur::millis(1), "lane 1 not delayed");
+        // Hints 2 and 3 fold back onto lanes 0 and 1 and queue behind the
+        // first pair's charges.
+        assert!(t(2) >= t(0) + Dur::millis(1));
+        assert!(t(3) >= t(1) + Dur::millis(1));
+    }
+
+    #[test]
+    fn single_lane_serializes_regardless_of_hints() {
+        let mut sim: Simulation<Laned, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        let a = sim.add_node(Box::new(SlowLaned {
+            handled: Vec::new(),
+        }));
+        for hint in [5u64, 9, 13] {
+            sim.inject(a, Laned(hint), Dur::ZERO);
+        }
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let handled = &sim.node::<SlowLaned>(a).handled;
+        assert_eq!(handled.len(), 3);
+        assert!(handled[1].0 - handled[0].0 >= Dur::millis(1));
+        assert!(handled[2].0 - handled[1].0 >= Dur::millis(1));
+    }
+
+    /// Timer handler that directs its charge at a chosen lane.
+    struct LanedTimer {
+        handled: Vec<(Time, u64)>,
+    }
+
+    impl Process<Laned> for LanedTimer {
+        fn on_start(&mut self, ctx: &mut Context<'_, Laned>) {
+            ctx.set_timer(Dur::ZERO, 0);
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Laned, ctx: &mut Context<'_, Laned>) {
+            self.handled.push((ctx.now(), msg.0));
+            ctx.charge(Dur::micros(10));
+        }
+        fn on_timer(&mut self, _timer: Timer, ctx: &mut Context<'_, Laned>) {
+            // Charge a heavy tick against lane 1 only.
+            ctx.use_lane(1);
+            ctx.charge(Dur::millis(1));
+        }
+        impl_process_any!();
+    }
+
+    #[test]
+    fn use_lane_directs_timer_charge() {
+        let mut sim: Simulation<Laned, UniformFabric> =
+            Simulation::new(UniformFabric::new(Dur::ZERO), 1);
+        let a = sim.add_node_with(
+            Box::new(LanedTimer {
+                handled: Vec::new(),
+            }),
+            NodeConfig::default().with_lanes(2),
+        );
+        sim.inject(a, Laned(0), Dur::micros(1));
+        sim.inject(a, Laned(1), Dur::micros(1));
+        sim.run_until(Time::ZERO + Dur::millis(10));
+        let handled = &sim.node::<LanedTimer>(a).handled;
+        let t = |hint: u64| handled.iter().find(|(_, h)| *h == hint).unwrap().0;
+        // The timer's 1ms charge went to lane 1, so the lane-0 message runs
+        // right away while the lane-1 message waits out the tick.
+        assert!(t(0) < Time::ZERO + Dur::millis(1), "lane 0 stayed free");
+        assert!(
+            t(1) >= Time::ZERO + Dur::millis(1),
+            "lane 1 blocked by tick"
+        );
     }
 
     struct TimerUser {

@@ -47,6 +47,18 @@ impl ProtocolMsg for CanopusMsg {
     }
 }
 
+impl ProtocolMsg for canopus::ShardMsg {
+    fn request(req: ClientRequest) -> Self {
+        canopus::ShardMsg::Client(req)
+    }
+    fn reply(&self) -> Option<&ClientReply> {
+        match self {
+            canopus::ShardMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
 impl ProtocolMsg for EpaxosMsg {
     fn request(req: ClientRequest) -> Self {
         EpaxosMsg::Request(req)
@@ -116,6 +128,19 @@ pub struct OpenLoopConfig {
     /// Reaction to transport backpressure, consulted only when a
     /// [`PressureProbe`] is installed ([`OpenLoopClient::with_pressure`]).
     pub on_pressure: PressurePolicy,
+    /// Key-space shards the synthetic stream is spread across. With the
+    /// default `1` the client behaves exactly as before sharding existed
+    /// (same RNG stream, same wire traffic). Above 1, each tick's
+    /// arrivals are split across `shards` sub-streams, each issued under
+    /// a distinct *pseudo* client identity chosen so the sharded engine's
+    /// client-hash router lands it on the intended shard; only meaningful
+    /// against a shard-parallel engine (which routes replies back to the
+    /// real sender).
+    pub shards: u16,
+    /// Zipf exponent for the per-shard split: `None` spreads arrivals
+    /// uniformly, `Some(theta)` gives shard `s` a share ∝ 1/(s+1)^theta
+    /// (shard 0 hottest) — the hot-shard-skew workload.
+    pub shard_theta: Option<f64>,
 }
 
 impl Default for OpenLoopConfig {
@@ -128,6 +153,8 @@ impl Default for OpenLoopConfig {
             warmup: Dur::millis(200),
             max_batch: 0,
             on_pressure: PressurePolicy::Shed,
+            shards: 1,
+            shard_theta: None,
         }
     }
 }
@@ -154,6 +181,11 @@ pub struct OpenLoopClient<M: ProtocolMsg> {
     probe: Option<PressureProbe>,
     carry_writes: u64,
     carry_reads: u64,
+    /// Pseudo client id per shard (empty when `cfg.shards <= 1`),
+    /// resolved lazily on start from the process's real id.
+    shard_ids: Vec<NodeId>,
+    /// Cumulative per-shard traffic share (uniform or Zipf-skewed).
+    shard_cdf: Vec<f64>,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -174,6 +206,8 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
             probe: None,
             carry_writes: 0,
             carry_reads: 0,
+            shard_ids: Vec::new(),
+            shard_cdf: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -197,7 +231,81 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
         merged
     }
 
-    fn send_batch(&mut self, count: u64, is_write: bool, ctx: &mut Context<'_, M>) {
+    /// Resolves the per-shard pseudo identities and traffic shares. The
+    /// pseudo id for shard `s` is the first id in this client's private
+    /// block (`(real_id + 1) << 16`) that the router's client hash maps
+    /// to `s` — a pure function of `(real_id, shards)`, so it survives
+    /// restarts and is identical on every run.
+    fn resolve_shards(&mut self, me: NodeId) {
+        if self.cfg.shards <= 1 {
+            return;
+        }
+        let shards = self.cfg.shards;
+        let router = canopus_kv::ShardRouter::new(shards);
+        let base = (me.0 + 1) << 16;
+        self.shard_ids = (0..shards)
+            .map(|s| {
+                (0..1u32 << 16)
+                    .map(|k| NodeId(base + k))
+                    .find(|&c| router.shard_of_client(c) == s)
+                    .expect("client hash covers every shard well before 2^16 probes")
+            })
+            .collect();
+        let weights: Vec<f64> = (0..shards)
+            .map(|s| match self.cfg.shard_theta {
+                None => 1.0,
+                Some(theta) => 1.0 / f64::from(s + 1).powf(theta),
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        self.shard_cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        if let Some(last) = self.shard_cdf.last_mut() {
+            *last = 1.0;
+        }
+    }
+
+    /// Splits `count` arrivals across shards by largest-cumulative-share
+    /// rounding: deterministic, exact (`sum == count`), no RNG draws.
+    fn split_across_shards(&self, count: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.shard_cdf.len());
+        let mut prev = 0u64;
+        for &cdf in &self.shard_cdf {
+            let upto = ((count as f64) * cdf).round() as u64;
+            out.push(upto.saturating_sub(prev));
+            prev = upto.max(prev);
+        }
+        out
+    }
+
+    fn issue_tick(&mut self, writes: u64, reads: u64, ctx: &mut Context<'_, M>) {
+        if self.shard_ids.is_empty() {
+            self.send_batch(writes, true, ctx.id(), ctx);
+            self.send_batch(reads, false, ctx.id(), ctx);
+            return;
+        }
+        let w_split = self.split_across_shards(writes);
+        let r_split = self.split_across_shards(reads);
+        for s in 0..self.shard_ids.len() {
+            let as_client = self.shard_ids[s];
+            self.send_batch(w_split[s], true, as_client, ctx);
+            self.send_batch(r_split[s], false, as_client, ctx);
+        }
+    }
+
+    fn send_batch(
+        &mut self,
+        count: u64,
+        is_write: bool,
+        as_client: NodeId,
+        ctx: &mut Context<'_, M>,
+    ) {
         if count == 0 {
             return;
         }
@@ -207,14 +315,20 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
             while left > 0 {
                 let n = left.min(chunk);
                 left -= n;
-                self.send_one(n, is_write, ctx);
+                self.send_one(n, is_write, as_client, ctx);
             }
         } else {
-            self.send_one(count, is_write, ctx);
+            self.send_one(count, is_write, as_client, ctx);
         }
     }
 
-    fn send_one(&mut self, count: u64, is_write: bool, ctx: &mut Context<'_, M>) {
+    fn send_one(
+        &mut self,
+        count: u64,
+        is_write: bool,
+        as_client: NodeId,
+        ctx: &mut Context<'_, M>,
+    ) {
         self.next_op_id += 1;
         let op_id = self.next_op_id;
         let op = if is_write {
@@ -232,7 +346,7 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
         ctx.send(
             self.target,
             M::request(ClientRequest {
-                client: ctx.id(),
+                client: as_client,
                 op_id,
                 op,
             }),
@@ -242,6 +356,7 @@ impl<M: ProtocolMsg> OpenLoopClient<M> {
 
 impl<M: ProtocolMsg + 'static> Process<M> for OpenLoopClient<M> {
     fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        self.resolve_shards(ctx.id());
         // Stagger tick phase across clients to avoid lockstep arrivals.
         let phase = Dur::nanos(self.rng.gen_range(0..self.cfg.tick.as_nanos().max(1)));
         ctx.set_timer(phase, 0);
@@ -266,8 +381,7 @@ impl<M: ProtocolMsg + 'static> Process<M> for OpenLoopClient<M> {
         } else {
             let nw = nw + std::mem::take(&mut self.carry_writes);
             let nr = nr + std::mem::take(&mut self.carry_reads);
-            self.send_batch(nw, true, ctx);
-            self.send_batch(nr, false, ctx);
+            self.issue_tick(nw, nr, ctx);
         }
         ctx.set_timer(self.cfg.tick, 0);
     }

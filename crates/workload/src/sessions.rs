@@ -16,7 +16,7 @@
 //! latency instead of growing an unbounded send queue.
 
 use bytes::Bytes;
-use canopus_kv::{ClientRequest, Op};
+use canopus_kv::{ClientRequest, Op, ShardRouter};
 use canopus_sim::{impl_process_any, Context, Dur, NodeId, Process, Time, Timer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +59,10 @@ pub struct SessionMuxConfig {
     pub stop_at: Time,
     /// Latency samples before this time are discarded.
     pub warmup: Dur,
+    /// Key-space shards the deployment runs (1 = unsharded). Used only
+    /// for per-shard accounting — routing itself is the engine's job —
+    /// so the mux can report committed throughput per shard.
+    pub shards: u16,
 }
 
 impl Default for SessionMuxConfig {
@@ -76,6 +80,7 @@ impl Default for SessionMuxConfig {
             ramp: Dur::millis(500),
             stop_at: Time::from_nanos(u64::MAX),
             warmup: Dur::ZERO,
+            shards: 1,
         }
     }
 }
@@ -89,6 +94,8 @@ struct Session {
     issued_at: Time,
     is_write: bool,
     completed: u32,
+    /// Shard owning the outstanding op's key.
+    shard: u16,
 }
 
 /// A due event on the tick wheel.
@@ -121,6 +128,9 @@ pub struct SessionMux<M: ProtocolMsg> {
     pub latency: LatencyRecorder,
     outstanding_now: u64,
     peak_outstanding: u64,
+    router: ShardRouter,
+    /// `(issued, completed)` per shard, indexed by shard id.
+    per_shard: Vec<(u64, u64)>,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -133,7 +143,10 @@ impl<M: ProtocolMsg> SessionMux<M> {
             "session index must fit the op-id namespace"
         );
         let sessions = vec![Session::default(); cfg.sessions];
+        let shards = cfg.shards.max(1);
         SessionMux {
+            router: ShardRouter::new(shards),
+            per_shard: vec![(0, 0); shards as usize],
             cfg,
             rng: SmallRng::seed_from_u64(seed),
             sessions,
@@ -179,6 +192,12 @@ impl<M: ProtocolMsg> SessionMux<M> {
         self.sessions.iter().filter(|s| s.completed > 0).count() as u64
     }
 
+    /// `(issued, completed)` per key-space shard, indexed by shard id.
+    /// With `shards == 1` this is the aggregate.
+    pub fn per_shard_counts(&self) -> &[(u64, u64)] {
+        &self.per_shard
+    }
+
     fn tick_index(&self, at: Time) -> u64 {
         at.as_nanos() / self.cfg.tick.as_nanos().max(1)
     }
@@ -200,6 +219,9 @@ impl<M: ProtocolMsg> SessionMux<M> {
         let seq = sess.seq;
         let op_id = ((s as u64 + 1) << SEQ_BITS) | seq as u64;
         let key = self.cfg.key_base + s as u64 * cfg_keys + (seq as u64 % cfg_keys);
+        let shard = self.router.shard_of_key(key);
+        sess.shard = shard;
+        self.per_shard[shard as usize].0 += 1;
         let op = if is_write {
             Op::Put {
                 key,
@@ -297,6 +319,7 @@ impl<M: ProtocolMsg + 'static> Process<M> for SessionMux<M> {
         sess.outstanding = false;
         sess.completed += 1;
         self.completed += 1;
+        self.per_shard[sess.shard as usize].1 += 1;
         self.outstanding_now -= 1;
         let lat = now.saturating_since(sess.issued_at);
         if now >= Time::ZERO + self.cfg.warmup {

@@ -373,13 +373,21 @@ impl ZabNode {
             self.cfg.costs.per_commit.as_nanos() * weight.min(4096) as u64,
         ));
         self.stats.applied_weight += weight as u64;
-        if let Op::Put { key, value } = &txn.op.req.op {
-            self.store.put(*key, value.clone());
+        match &txn.op.req.op {
+            Op::Put { key, value } => {
+                self.store.put(*key, value.clone());
+            }
+            Op::MultiPut { puts } => {
+                for (key, value) in puts {
+                    self.store.put(*key, value.clone());
+                }
+            }
+            _ => {}
         }
         if txn.origin == self.me {
             self.stats.own_completed += weight as u64;
             let result = match txn.op.req.op {
-                Op::Put { .. } => OpResult::Written,
+                Op::Put { .. } | Op::MultiPut { .. } => OpResult::Written,
                 _ => OpResult::Batch,
             };
             ctx.send(

@@ -117,6 +117,9 @@ fn main() {
                     .map(|op| match op {
                         canopus::CommittedOp::Put { key, .. } => format!("R{key}"),
                         canopus::CommittedOp::Synthetic { .. } => "R?".into(),
+                        canopus::CommittedOp::MultiPut { keys, .. } => {
+                            format!("T{}", keys.len())
+                        }
                     })
                     .collect();
                 format!(
@@ -146,6 +149,9 @@ fn main() {
                         .map(|op| match op {
                             canopus::CommittedOp::Put { key, .. } => format!("R{key}"),
                             canopus::CommittedOp::Synthetic { .. } => "R?".into(),
+                            canopus::CommittedOp::MultiPut { keys, .. } => {
+                                format!("T{}", keys.len())
+                            }
                         })
                         .collect();
                     format!(

@@ -103,6 +103,9 @@ fn main() {
                     canopus::CommittedOp::Synthetic { count, .. } => {
                         format!("{}:batch({count})", set.origin)
                     }
+                    canopus::CommittedOp::MultiPut { keys, .. } => {
+                        format!("{}:txn({} keys)", set.origin, keys.len())
+                    }
                 })
             })
             .collect();

@@ -118,6 +118,7 @@ fn run_cluster(
                         s.ops.iter().map(|op| match *op {
                             CommittedOp::Put { client, op_id, .. } => (client.0, op_id),
                             CommittedOp::Synthetic { client, op_id, .. } => (client.0, op_id),
+                            CommittedOp::MultiPut { client, op_id, .. } => (client.0, op_id),
                         })
                     })
                 })
